@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures.
+
+Contexts (dataset + encoding + window set + vector index) are built once
+per session so that each benchmark measures the pipeline stage it names,
+not dataset generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load
+from repro.mining import PipelineContext, RAGPipeline, SlidingWindowPipeline
+
+
+@pytest.fixture(scope="session")
+def contexts():
+    return {
+        name: PipelineContext.build(load(name))
+        for name in ("wwc2019", "cybersecurity", "twitter")
+    }
+
+
+@pytest.fixture(scope="session")
+def swa_pipelines(contexts):
+    pipelines = {
+        name: SlidingWindowPipeline(context)
+        for name, context in contexts.items()
+    }
+    for pipeline in pipelines.values():
+        pipeline.window_set  # pre-chunk so benches measure mining
+    return pipelines
+
+
+@pytest.fixture(scope="session")
+def rag_pipelines(contexts):
+    pipelines = {
+        name: RAGPipeline(context) for name, context in contexts.items()
+    }
+    for pipeline in pipelines.values():
+        pipeline._ensure_index()  # pre-embed so benches measure mining
+    return pipelines
+
+
+@pytest.fixture()
+def run_once():
+    """Benchmark a deterministic, expensive call with a single round."""
+
+    def runner(benchmark, func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return runner

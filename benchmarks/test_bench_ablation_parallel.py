@@ -1,0 +1,42 @@
+"""Ablation: parallel prompting (§4.3's future-work proposal).
+
+Measures the simulated makespan of the sliding-window pipeline as the
+number of LLM replicas grows, on the WWC2019 graph.  The speedup is
+near-linear because windows are embarrassingly parallel; rule output is
+bit-identical to the sequential run by construction.
+"""
+
+import pytest
+
+from repro.mining import ParallelSlidingWindowPipeline, SlidingWindowPipeline
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_ablation_parallel_workers(
+    benchmark, run_once, contexts, workers, capsys
+):
+    pipeline = ParallelSlidingWindowPipeline(
+        contexts["wwc2019"], workers=workers
+    )
+    run = run_once(benchmark, pipeline.mine, "llama3", "zero_shot")
+    with capsys.disabled():
+        print(
+            f"\nworkers={workers}: makespan={run.mining_seconds:.1f}s "
+            f"speedup={pipeline.speedup_over_sequential(run):.2f}x "
+            f"rules={run.rule_count}"
+        )
+    assert run.rule_count >= 4
+
+
+def test_parallel_output_identical_to_sequential(contexts):
+    sequential = SlidingWindowPipeline(contexts["wwc2019"]).mine(
+        "llama3", "zero_shot"
+    )
+    parallel = ParallelSlidingWindowPipeline(
+        contexts["wwc2019"], workers=8
+    ).mine("llama3", "zero_shot")
+    assert [r.text for r in parallel.rules] == \
+        [r.text for r in sequential.rules]
+    assert parallel.mining_seconds < sequential.mining_seconds / 6

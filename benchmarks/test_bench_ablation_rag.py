@@ -1,0 +1,45 @@
+"""Ablation: RAG retrieval depth (top-k) and diversity.
+
+The paper attributes RAG's weakness to incomplete/irrelevant retrieval;
+this sweep quantifies how much context the retriever must return before
+rule counts approach the sliding-window pipeline's.
+"""
+
+import pytest
+
+from repro.mining import RAGPipeline, SlidingWindowPipeline
+
+TOP_KS = (4, 16, 64)
+
+
+@pytest.mark.parametrize("top_k", TOP_KS)
+def test_ablation_rag_topk(benchmark, run_once, contexts, top_k, capsys):
+    pipeline = RAGPipeline(contexts["cybersecurity"], top_k=top_k)
+    run = run_once(benchmark, pipeline.mine, "llama3", "zero_shot")
+    with capsys.disabled():
+        print(
+            f"\ntop_k={top_k}: rules={run.rule_count} "
+            f"chunks={run.retrieved_chunks}/{run.total_chunks} "
+            f"conf={run.aggregate_metrics().avg_confidence:.1f}"
+        )
+    assert run.retrieved_chunks == min(top_k, run.total_chunks)
+
+
+def test_ablation_more_context_not_fewer_rules(contexts):
+    shallow = RAGPipeline(contexts["cybersecurity"], top_k=4).mine(
+        "llama3", "zero_shot"
+    )
+    deep = RAGPipeline(contexts["cybersecurity"], top_k=64).mine(
+        "llama3", "zero_shot"
+    )
+    assert deep.rule_count >= shallow.rule_count
+
+
+def test_ablation_rag_still_cheaper_even_at_depth(contexts):
+    deep = RAGPipeline(contexts["cybersecurity"], top_k=64).mine(
+        "llama3", "zero_shot"
+    )
+    swa = SlidingWindowPipeline(contexts["cybersecurity"]).mine(
+        "llama3", "zero_shot"
+    )
+    assert deep.mining_seconds < swa.mining_seconds

@@ -1,0 +1,52 @@
+"""Ablation: window size and overlap (the paper fixes 8000/500).
+
+Sweeps the sliding-window parameters on the Cybersecurity dataset and
+reports the trade-off DESIGN.md calls out: smaller windows mean more
+LLM calls (slower) and more fragmentation, without better rules.
+"""
+
+import pytest
+
+from repro.mining import SlidingWindowPipeline
+
+WINDOW_SIZES = (2000, 4000, 8000)
+
+
+@pytest.mark.parametrize("window_size", WINDOW_SIZES)
+def test_ablation_window_size(
+    benchmark, run_once, contexts, window_size, capsys
+):
+    pipeline = SlidingWindowPipeline(
+        contexts["cybersecurity"], window_size=window_size, overlap=500
+        if window_size > 500 else 100,
+    )
+    run = run_once(benchmark, pipeline.mine, "llama3", "zero_shot")
+    with capsys.disabled():
+        print(
+            f"\nwindow={window_size}: windows={run.window_count} "
+            f"rules={run.rule_count} simulated={run.mining_seconds:.0f}s "
+            f"broken={run.broken_patterns}"
+        )
+    assert run.rule_count >= 4
+
+
+def test_ablation_smaller_windows_cost_more(contexts):
+    small = SlidingWindowPipeline(
+        contexts["cybersecurity"], window_size=2000, overlap=500
+    ).mine("llama3", "zero_shot")
+    large = SlidingWindowPipeline(
+        contexts["cybersecurity"], window_size=8000, overlap=500
+    ).mine("llama3", "zero_shot")
+    assert small.window_count > large.window_count
+    assert small.mining_seconds > large.mining_seconds
+
+
+def test_ablation_overlap_controls_fragmentation(contexts):
+    tight = SlidingWindowPipeline(
+        contexts["cybersecurity"], window_size=8000, overlap=50
+    )
+    loose = SlidingWindowPipeline(
+        contexts["cybersecurity"], window_size=8000, overlap=2000
+    )
+    assert tight.window_set.broken_pattern_count >= \
+        loose.window_set.broken_pattern_count

@@ -1,0 +1,79 @@
+"""Micro-benchmarks for the Cypher substrate itself.
+
+These quantify the engine the whole evaluation stands on: parsing,
+index-backed matching, multi-hop joins and grouped aggregation on the
+WWC2019 graph.
+"""
+
+import pytest
+
+from repro.cypher import execute, parse
+from repro.datasets import load
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load("wwc2019").graph
+
+
+def test_parse_throughput(benchmark):
+    query = (
+        "MATCH (p:Person)-[g:SCORED_GOAL]->(m:Match) "
+        "WHERE g.minute > 10 AND m.stage IN ['Group', 'Final'] "
+        "WITH m.id AS match_id, count(*) AS goals WHERE goals > 1 "
+        "RETURN match_id, goals ORDER BY goals DESC LIMIT 5"
+    )
+    benchmark(parse, query)
+
+
+def test_label_scan_count(benchmark, graph):
+    result = benchmark(
+        execute, graph, "MATCH (p:Person) RETURN count(*) AS c"
+    )
+    assert result.scalar() == 2367
+
+
+def test_one_hop_match(benchmark, graph):
+    result = benchmark(
+        execute, graph,
+        "MATCH (p:Person)-[:SCORED_GOAL]->(m:Match) RETURN count(*) AS c",
+    )
+    assert result.scalar() == 148
+
+
+def test_two_hop_join(benchmark, graph):
+    result = benchmark(
+        execute, graph,
+        "MATCH (p:Person)-[:IN_SQUAD]->(s:Squad)-[:FOR]->(t:Tournament) "
+        "RETURN count(*) AS c",
+    )
+    assert result.scalar() > 0
+
+
+def test_grouped_aggregation(benchmark, graph):
+    result = benchmark(
+        execute, graph,
+        "MATCH (p:Person)-[:PLAYED_IN]->(m:Match) "
+        "WITH m.id AS match_id, count(*) AS players "
+        "RETURN max(players) AS biggest",
+    )
+    assert result.scalar() > 0
+
+
+def test_uniqueness_check_query(benchmark, graph):
+    result = benchmark(
+        execute, graph,
+        "MATCH (p:Person) WHERE p.id IS NOT NULL "
+        "WITH p.id AS value, count(*) AS occurrences "
+        "WHERE occurrences = 1 RETURN count(*) AS support",
+    )
+    assert result.scalar() == 2367
+
+
+def test_pattern_predicate_filter(benchmark, graph):
+    result = benchmark(
+        execute, graph,
+        "MATCH (s:Squad) WHERE NOT (s)-[:FOR]->(:Tournament) "
+        "RETURN count(*) AS orphans",
+    )
+    assert result.scalar() == 1  # the injected orphan squad

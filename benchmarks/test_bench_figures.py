@@ -1,0 +1,17 @@
+"""§4.5 fragmentation benchmark: broken patterns per dataset."""
+
+from repro.experiments import figures
+from repro.mining.runner import ExperimentRunner
+
+
+def test_broken_patterns(benchmark, run_once, capsys):
+    runner = ExperimentRunner(base_seed=0)
+    table = run_once(benchmark, figures.broken_patterns, runner)
+    with capsys.disabled():
+        print("\n\n" + table.render() + "\n")
+    # paper: 6 / 11 / 6 — small relative to the window count
+    for _dataset, broken, windows in (
+        (row[0], int(row[1]), int(row[2])) for row in table.rows
+    ):
+        assert 0 <= broken <= 25
+        assert broken < windows

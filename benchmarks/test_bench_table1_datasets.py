@@ -1,0 +1,31 @@
+"""Table 1 benchmark: dataset generation and size verification."""
+
+from repro.datasets import load
+from repro.experiments import table1
+from repro.graph import compute_statistics
+
+
+def test_table1_generate_wwc2019(benchmark):
+    dataset = benchmark(lambda: load("wwc2019", cache=False))
+    stats = compute_statistics(dataset.graph)
+    assert stats.as_table1_row() == ("WWC2019", 2468, 14799, 5, 9)
+
+
+def test_table1_generate_cybersecurity(benchmark):
+    dataset = benchmark(lambda: load("cybersecurity", cache=False))
+    stats = compute_statistics(dataset.graph)
+    assert stats.as_table1_row() == ("Cybersecurity", 953, 4838, 7, 16)
+
+
+def test_table1_generate_twitter(benchmark, run_once):
+    dataset = run_once(benchmark, load, "twitter", cache=False)
+    stats = compute_statistics(dataset.graph)
+    assert stats.as_table1_row() == ("Twitter", 43325, 56493, 6, 8)
+
+
+def test_table1_print(capsys):
+    """Regenerate and print the paper's Table 1."""
+    table = table1.build()
+    assert table1.verify()
+    with capsys.disabled():
+        print("\n\n" + table.render() + "\n")

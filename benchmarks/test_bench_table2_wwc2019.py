@@ -1,0 +1,41 @@
+"""Table 2 benchmark: the WWC2019 metric grid.
+
+Each benchmark regenerates one cell (model x method, zero-shot); the
+printing test assembles the full table with both prompt modes.
+"""
+
+import pytest
+
+from repro.experiments import metric_tables
+from repro.mining.runner import ExperimentRunner
+
+DATASET = "wwc2019"
+
+
+@pytest.mark.parametrize("model", ["llama3", "mixtral"])
+def test_table2_swa_cell(benchmark, run_once, swa_pipelines, model):
+    run = run_once(
+        benchmark, swa_pipelines[DATASET].mine, model, "zero_shot"
+    )
+    assert 4 <= run.rule_count <= 12
+    metrics = run.aggregate_metrics()
+    assert metrics.avg_support > 100       # WWC supports are in the 100s+
+    assert metrics.avg_confidence > 50
+
+
+@pytest.mark.parametrize("model", ["llama3", "mixtral"])
+def test_table2_rag_cell(benchmark, swa_pipelines, rag_pipelines, model):
+    run = benchmark.pedantic(
+        rag_pipelines[DATASET].mine, args=(model, "zero_shot"),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert run.rule_count >= 1
+    swa = swa_pipelines[DATASET].mine(model, "zero_shot")
+    assert run.mining_seconds < swa.mining_seconds / 20
+
+
+def test_table2_print(capsys):
+    runner = ExperimentRunner(base_seed=0)
+    table = metric_tables.build(runner, DATASET)
+    with capsys.disabled():
+        print("\n\n" + table.render() + "\n")

@@ -1,0 +1,36 @@
+"""Table 3 benchmark: the Cybersecurity metric grid."""
+
+import pytest
+
+from repro.experiments import metric_tables
+from repro.mining.runner import ExperimentRunner
+
+DATASET = "cybersecurity"
+
+
+@pytest.mark.parametrize("model", ["llama3", "mixtral"])
+@pytest.mark.parametrize("prompt_mode", ["zero_shot", "few_shot"])
+def test_table3_swa_cell(
+    benchmark, run_once, swa_pipelines, model, prompt_mode
+):
+    run = run_once(
+        benchmark, swa_pipelines[DATASET].mine, model, prompt_mode
+    )
+    assert 4 <= run.rule_count <= 12
+    assert run.aggregate_metrics().avg_confidence > 50
+
+
+@pytest.mark.parametrize("model", ["llama3", "mixtral"])
+def test_table3_rag_cell(benchmark, run_once, rag_pipelines, model):
+    run = run_once(
+        benchmark, rag_pipelines[DATASET].mine, model, "zero_shot"
+    )
+    assert run.rule_count >= 1
+    assert run.mining_seconds < 10
+
+
+def test_table3_print(capsys):
+    runner = ExperimentRunner(base_seed=0)
+    table = metric_tables.build(runner, DATASET)
+    with capsys.disabled():
+        print("\n\n" + table.render() + "\n")

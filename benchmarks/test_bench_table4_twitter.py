@@ -1,0 +1,39 @@
+"""Table 4 benchmark: the Twitter metric grid.
+
+Twitter is the large graph (43k nodes); its sliding-window cells are the
+most expensive in the study, so each one is benchmarked with a single
+round.
+"""
+
+import pytest
+
+from repro.experiments import metric_tables
+from repro.mining.runner import ExperimentRunner
+
+DATASET = "twitter"
+
+
+@pytest.mark.parametrize("model", ["llama3", "mixtral"])
+def test_table4_swa_cell(benchmark, run_once, swa_pipelines, model):
+    run = run_once(
+        benchmark, swa_pipelines[DATASET].mine, model, "zero_shot"
+    )
+    assert 4 <= run.rule_count <= 12
+    metrics = run.aggregate_metrics()
+    assert metrics.avg_support > 1000   # Twitter supports are in the 1000s
+
+
+@pytest.mark.parametrize("model", ["llama3", "mixtral"])
+def test_table4_rag_cell(benchmark, run_once, rag_pipelines, model):
+    run = run_once(
+        benchmark, rag_pipelines[DATASET].mine, model, "zero_shot"
+    )
+    assert run.rule_count >= 1
+    assert run.mining_seconds < 10
+
+
+def test_table4_print(capsys):
+    runner = ExperimentRunner(base_seed=0)
+    table = metric_tables.build(runner, DATASET)
+    with capsys.disabled():
+        print("\n\n" + table.render() + "\n")

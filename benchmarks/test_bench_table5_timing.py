@@ -1,0 +1,42 @@
+"""Table 5 benchmark: rule-mining times across the whole grid.
+
+The benchmark measures the *wall-clock* of regenerating the timing table;
+the assertions verify the *simulated* LLM seconds reproduce the paper's
+shape: SWA in the hundreds of seconds and growing with the encoding, RAG
+in single digits, few-shot faster than zero-shot under SWA.
+"""
+
+from repro.experiments import table5
+from repro.mining.runner import ExperimentRunner
+
+
+def test_table5_grid(benchmark, run_once, capsys):
+    runner = ExperimentRunner(base_seed=0)
+    table = run_once(benchmark, table5.build, runner)
+    with capsys.disabled():
+        print("\n\n" + table.render() + "\n")
+
+    def seconds(dataset, model, method, prompt):
+        return runner.run(dataset, model, method, prompt).mining_seconds
+
+    for dataset in ("wwc2019", "cybersecurity", "twitter"):
+        for model in ("llama3", "mixtral"):
+            swa_zero = seconds(dataset, model, "sliding_window",
+                               "zero_shot")
+            swa_few = seconds(dataset, model, "sliding_window", "few_shot")
+            rag_zero = seconds(dataset, model, "rag", "zero_shot")
+            rag_few = seconds(dataset, model, "rag", "few_shot")
+            # RAG is orders of magnitude faster (paper: ~50-140x)
+            assert swa_zero > 20 * rag_zero
+            # few-shot speeds SWA up (paper: 251->227 etc.)
+            assert swa_few < swa_zero
+            assert rag_zero < 10 and rag_few < 10
+
+    # SWA grows with the encoded-graph size: Twitter > WWC > Cyber
+    assert seconds("twitter", "llama3", "sliding_window", "zero_shot") > \
+        seconds("wwc2019", "llama3", "sliding_window", "zero_shot") > \
+        seconds("cybersecurity", "llama3", "sliding_window", "zero_shot")
+
+    # WWC2019 absolute numbers land in the paper's band (~200-300 s)
+    wwc = seconds("wwc2019", "llama3", "sliding_window", "zero_shot")
+    assert 150 < wwc < 400

@@ -1,0 +1,67 @@
+"""LLM pipeline vs. classical miners on the WWC2019 graph.
+
+Contrasts the three rule sources the paper discusses:
+
+* the LLM pipeline (simulated LLaMA-3, sliding windows) — selective,
+  natural-language rules of many kinds;
+* the schema profiler — exact and complete over schema constraints, but
+  verbose ("an overwhelming number of constraints");
+* the AMIE-style Horn-rule miner — relation co-occurrence rules only,
+  no property constraints at all.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.baselines import AmieConfig, AmieMiner, SchemaProfiler
+from repro.datasets import load
+from repro.mining import PipelineContext, SlidingWindowPipeline
+
+
+def main() -> None:
+    dataset = load("wwc2019")
+    context = PipelineContext.build(dataset)
+
+    # 1) LLM pipeline
+    run = SlidingWindowPipeline(context).mine("llama3", "zero_shot")
+    llm_rules = run.rules
+    print(f"LLM pipeline (llama3, SWA, zero-shot): {len(llm_rules)} rules")
+    for kind, count in Counter(r.kind.value for r in llm_rules).items():
+        print(f"  {count:2d}x {kind}")
+
+    # 2) schema profiler
+    profiler_rules = SchemaProfiler().mine(context.graph, context.schema)
+    print(f"\nSchema profiler: {len(profiler_rules)} rules")
+    for kind, count in Counter(
+        r.kind.value for r in profiler_rules
+    ).items():
+        print(f"  {count:2d}x {kind}")
+
+    # 3) AMIE-style Horn rules
+    horn_rules = AmieMiner(
+        AmieConfig(min_support=20, min_confidence=0.5)
+    ).mine(context.graph)
+    print(f"\nAMIE-style miner: {len(horn_rules)} Horn rules "
+          "(top 5 by confidence)")
+    for rule in horn_rules[:5]:
+        print(f"  {rule.describe()}")
+
+    # overlap: which LLM rules did the profiler also find?
+    profiler_signatures = {rule.signature() for rule in profiler_rules}
+    overlap = [
+        rule for rule in llm_rules
+        if rule.signature() in profiler_signatures
+    ]
+    print(
+        f"\n{len(overlap)}/{len(llm_rules)} LLM rules are exactly "
+        "reproduced by the profiler;"
+    )
+    print("the rest are either multi-hop/temporal rules outside the "
+          "profiler's language, or LLM hallucinations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro — reproduction of *Graph Consistency Rule Mining with LLMs: an
+Exploratory Study* (EDBT 2025).
+
+The package implements the paper's full pipeline offline:
+
+* :mod:`repro.graph` — property-graph store (Neo4j substitute)
+* :mod:`repro.cypher` — Cypher-subset interpreter
+* :mod:`repro.encoding` — incident encoder + sliding windows
+* :mod:`repro.rag` — embeddings, vector store, retrieval
+* :mod:`repro.llm` — simulated LLaMA-3 / Mixtral with fault injection
+* :mod:`repro.rules` — consistency-rule model and Cypher translation
+* :mod:`repro.metrics` — support / coverage / confidence
+* :mod:`repro.correction` — the paper's §4.4 correction protocol
+* :mod:`repro.mining` — sliding-window and RAG pipelines
+* :mod:`repro.baselines` — AMIE-style and profiler baselines
+* :mod:`repro.datasets` — WWC2019 / Cybersecurity / Twitter generators
+* :mod:`repro.experiments` — regenerate every table in the paper
+"""
+
+__version__ = "1.0.0"

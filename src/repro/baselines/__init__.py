@@ -1,0 +1,12 @@
+"""Non-LLM comparators: AMIE-style Horn rules and schema profiling."""
+
+from repro.baselines.amie import AmieConfig, AmieMiner, HornRule
+from repro.baselines.profiler import ProfilerConfig, SchemaProfiler
+
+__all__ = [
+    "AmieConfig",
+    "AmieMiner",
+    "HornRule",
+    "ProfilerConfig",
+    "SchemaProfiler",
+]

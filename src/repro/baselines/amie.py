@@ -1,0 +1,176 @@
+"""AMIE-style Horn-rule miner over property-graph relations.
+
+The related-work baseline (Galárraga et al., AMIE; Lajus et al., AMIE 3):
+exhaustively mine closed Horn rules over the graph's relation labels,
+
+* ``E1(x, y) ⇒ E2(x, y)``     (same-direction implication)
+* ``E1(x, y) ⇒ E2(y, x)``     (inverse implication)
+* ``E1(x, z) ∧ E2(z, y) ⇒ E3(x, y)``  (length-2 chain)
+
+scored with AMIE's measures — support (number of head facts predicted
+correctly), head coverage (support / head-relation size) and standard
+confidence (support / body matches) — and pruned by thresholds.  Unlike
+the LLM pipeline this is exact and complete over its rule language, but
+it only speaks in relation co-occurrence: it cannot produce the
+property-centric consistency rules (keys, domains, formats) the LLMs
+find, which is precisely the contrast the paper draws with data-mined
+rules.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.graph.store import PropertyGraph
+
+#: enumeration guard for chain-rule joins on very dense graphs
+MAX_JOIN_PAIRS = 2_000_000
+
+
+@dataclass(frozen=True)
+class HornRule:
+    """One mined Horn rule with its AMIE measures."""
+
+    body: tuple[str, ...]       # 1 atom (implication) or 2 (chain)
+    head: str
+    inverse: bool               # E1(x,y) => head(y,x) for 1-atom rules
+    support: int
+    body_size: int
+    head_size: int
+
+    @property
+    def head_coverage(self) -> float:
+        return self.support / self.head_size if self.head_size else 0.0
+
+    @property
+    def confidence(self) -> float:
+        return self.support / self.body_size if self.body_size else 0.0
+
+    def describe(self) -> str:
+        if len(self.body) == 1:
+            direction = "(y, x)" if self.inverse else "(x, y)"
+            body = f"{self.body[0]}(x, y)"
+            head = f"{self.head}{direction}"
+        else:
+            body = f"{self.body[0]}(x, z) AND {self.body[1]}(z, y)"
+            head = f"{self.head}(x, y)"
+        return (
+            f"{body} => {head}  "
+            f"[supp={self.support}, hc={self.head_coverage:.2f}, "
+            f"conf={self.confidence:.2f}]"
+        )
+
+
+@dataclass(frozen=True)
+class AmieConfig:
+    min_support: int = 10
+    min_head_coverage: float = 0.01
+    min_confidence: float = 0.1
+
+
+class AmieMiner:
+    """Exhaustive miner for the bounded Horn-rule language above."""
+
+    def __init__(self, config: AmieConfig | None = None) -> None:
+        self.config = config or AmieConfig()
+
+    # ------------------------------------------------------------------
+    def mine(self, graph: PropertyGraph) -> list[HornRule]:
+        """All rules clearing the thresholds, best confidence first."""
+        pairs = self._relation_pairs(graph)
+        rules: list[HornRule] = []
+        rules.extend(self._implications(pairs))
+        rules.extend(self._chains(graph, pairs))
+        rules.sort(
+            key=lambda rule: (-rule.confidence, -rule.support, rule.head)
+        )
+        return rules
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _relation_pairs(graph: PropertyGraph) -> dict[str, set[tuple[str, str]]]:
+        pairs: dict[str, set[tuple[str, str]]] = defaultdict(set)
+        for edge in graph.edges():
+            pairs[edge.label].add((edge.src, edge.dst))
+        return dict(pairs)
+
+    def _implications(
+        self, pairs: dict[str, set[tuple[str, str]]]
+    ) -> list[HornRule]:
+        rules: list[HornRule] = []
+        labels = sorted(pairs)
+        for body_label in labels:
+            body_pairs = pairs[body_label]
+            inverted = {(dst, src) for src, dst in body_pairs}
+            for head_label in labels:
+                if head_label == body_label:
+                    continue
+                head_pairs = pairs[head_label]
+                for inverse, candidate in ((False, body_pairs),
+                                           (True, inverted)):
+                    support = len(candidate & head_pairs)
+                    rule = HornRule(
+                        body=(body_label,), head=head_label,
+                        inverse=inverse, support=support,
+                        body_size=len(body_pairs),
+                        head_size=len(head_pairs),
+                    )
+                    if self._passes(rule):
+                        rules.append(rule)
+        return rules
+
+    def _chains(
+        self,
+        graph: PropertyGraph,
+        pairs: dict[str, set[tuple[str, str]]],
+    ) -> list[HornRule]:
+        # adjacency maps for the join: label -> src -> [dst]
+        out_map: dict[str, dict[str, list[str]]] = {}
+        for label, label_pairs in pairs.items():
+            mapping: dict[str, list[str]] = defaultdict(list)
+            for src, dst in label_pairs:
+                mapping[src].append(dst)
+            out_map[label] = dict(mapping)
+
+        labels = sorted(pairs)
+        rules: list[HornRule] = []
+        for first in labels:
+            for second in labels:
+                joined: set[tuple[str, str]] = set()
+                budget = MAX_JOIN_PAIRS
+                truncated = False
+                for src, mids in out_map[first].items():
+                    for mid in mids:
+                        for dst in out_map[second].get(mid, ()):
+                            joined.add((src, dst))
+                            budget -= 1
+                            if budget <= 0:
+                                truncated = True
+                                break
+                        if truncated:
+                            break
+                    if truncated:
+                        break
+                if not joined:
+                    continue
+                for head in labels:
+                    if head in (first, second) and first == second:
+                        continue
+                    head_pairs = pairs[head]
+                    support = len(joined & head_pairs)
+                    rule = HornRule(
+                        body=(first, second), head=head, inverse=False,
+                        support=support, body_size=len(joined),
+                        head_size=len(head_pairs),
+                    )
+                    if self._passes(rule):
+                        rules.append(rule)
+        return rules
+
+    def _passes(self, rule: HornRule) -> bool:
+        return (
+            rule.support >= self.config.min_support
+            and rule.head_coverage >= self.config.min_head_coverage
+            and rule.confidence >= self.config.min_confidence
+        )

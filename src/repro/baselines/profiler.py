@@ -1,0 +1,147 @@
+"""Schema-profiler baseline: constraint suggestion from exact statistics.
+
+The classical, non-LLM way to obtain the same constraint classes the
+study's LLMs produce: profile the whole graph exactly (no windows, no
+retrieval) and emit every rule whose measured quality clears a
+threshold.  This is the "data-mined constraints" family the introduction
+contrasts with — complete and exact, but it "can generate an
+overwhelming number of constraints" with no notion of which ones a
+domain expert would care about.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.graph.schema import GraphSchema, infer_schema
+from repro.graph.store import PropertyGraph
+from repro.llm.induction import FORMAT_DETECTORS
+from repro.rules.model import ConsistencyRule, RuleKind
+from repro.rules.nl import to_natural_language
+
+
+@dataclass(frozen=True)
+class ProfilerConfig:
+    """Quality thresholds for emitted constraints."""
+
+    min_completeness: float = 0.95   # PROPERTY_EXISTS threshold
+    min_uniqueness: float = 1.0      # UNIQUENESS threshold
+    max_domain_size: int = 6         # VALUE_DOMAIN distinct values
+    min_label_count: int = 2         # ignore singleton labels
+
+
+def _finish(rule: ConsistencyRule) -> ConsistencyRule:
+    return ConsistencyRule(
+        kind=rule.kind, text=to_natural_language(rule), label=rule.label,
+        properties=rule.properties, edge_label=rule.edge_label,
+        src_label=rule.src_label, dst_label=rule.dst_label,
+        allowed_values=rule.allowed_values, pattern_regex=rule.pattern_regex,
+        scope_edge_label=rule.scope_edge_label, scope_label=rule.scope_label,
+        time_property=rule.time_property, provenance="profiler",
+    )
+
+
+class SchemaProfiler:
+    """Exhaustively derives schema constraints from exact statistics."""
+
+    def __init__(self, config: ProfilerConfig | None = None) -> None:
+        self.config = config or ProfilerConfig()
+
+    # ------------------------------------------------------------------
+    def mine(
+        self, graph: PropertyGraph, schema: GraphSchema | None = None
+    ) -> list[ConsistencyRule]:
+        schema = schema or infer_schema(graph)
+        rules: list[ConsistencyRule] = []
+        rules.extend(self._node_rules(graph, schema))
+        rules.extend(self._edge_rules(schema))
+        return rules
+
+    # ------------------------------------------------------------------
+    def _node_rules(
+        self, graph: PropertyGraph, schema: GraphSchema
+    ) -> list[ConsistencyRule]:
+        rules: list[ConsistencyRule] = []
+        for label in schema.node_labels():
+            profile = schema.node_profiles[label]
+            if profile.count < self.config.min_label_count:
+                continue
+            mandatory = [
+                key for key, prop in sorted(profile.properties.items())
+                if prop.completeness(profile.count)
+                >= self.config.min_completeness
+            ]
+            if mandatory:
+                rules.append(_finish(ConsistencyRule(
+                    kind=RuleKind.PROPERTY_EXISTS, text="", label=label,
+                    properties=tuple(mandatory),
+                )))
+            for key, prop in sorted(profile.properties.items()):
+                if (
+                    prop.completeness(profile.count) >= 1.0
+                    and prop.uniqueness() >= self.config.min_uniqueness
+                ):
+                    rules.append(_finish(ConsistencyRule(
+                        kind=RuleKind.UNIQUENESS, text="", label=label,
+                        properties=(key,),
+                    )))
+                rules.extend(self._value_rules(label, key, prop))
+        return rules
+
+    def _value_rules(self, label: str, key: str, prop) -> list[ConsistencyRule]:
+        values = prop.distinct_sample
+        if not values:
+            return []
+        rules: list[ConsistencyRule] = []
+        if values <= {True, False} and prop.present >= 3:
+            rules.append(_finish(ConsistencyRule(
+                kind=RuleKind.VALUE_DOMAIN, text="", label=label,
+                properties=(key,), allowed_values=(True, False),
+            )))
+            return rules
+        strings = [value for value in values if isinstance(value, str)]
+        if len(strings) == len(values) and len(strings) >= 3:
+            for _name, regex in FORMAT_DETECTORS:
+                compiled = re.compile(regex)
+                if all(compiled.fullmatch(value) for value in strings):
+                    rules.append(_finish(ConsistencyRule(
+                        kind=RuleKind.VALUE_FORMAT, text="", label=label,
+                        properties=(key,), pattern_regex=regex,
+                    )))
+                    return rules
+        if (
+            len(values) <= self.config.max_domain_size
+            and prop.present >= 8
+            and all(isinstance(value, str) for value in values)
+        ):
+            rules.append(_finish(ConsistencyRule(
+                kind=RuleKind.VALUE_DOMAIN, text="", label=label,
+                properties=(key,),
+                allowed_values=tuple(sorted(values)),
+            )))
+        return rules
+
+    def _edge_rules(self, schema: GraphSchema) -> list[ConsistencyRule]:
+        rules: list[ConsistencyRule] = []
+        for edge_label in schema.edge_labels():
+            profile = schema.edge_profiles[edge_label]
+            signatures = schema.endpoint_signatures(edge_label)
+            if len(signatures) == 1:
+                signature = signatures[0]
+                rules.append(_finish(ConsistencyRule(
+                    kind=RuleKind.ENDPOINT, text="", edge_label=edge_label,
+                    src_label=signature.src_label,
+                    dst_label=signature.dst_label,
+                )))
+            mandatory = [
+                key for key, prop in sorted(profile.properties.items())
+                if prop.completeness(profile.count)
+                >= self.config.min_completeness
+            ]
+            if mandatory:
+                rules.append(_finish(ConsistencyRule(
+                    kind=RuleKind.EDGE_PROP_EXISTS, text="",
+                    edge_label=edge_label, properties=tuple(mandatory),
+                )))
+        return rules

@@ -1,0 +1,11 @@
+"""Query classification and the §4.4 correction protocol."""
+
+from repro.correction.classifier import Classification, QueryClassifier
+from repro.correction.corrector import CorrectionOutcome, QueryCorrector
+
+__all__ = [
+    "Classification",
+    "CorrectionOutcome",
+    "QueryClassifier",
+    "QueryCorrector",
+]

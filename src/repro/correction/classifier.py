@@ -1,0 +1,61 @@
+"""Classify a generated Cypher query per the paper's §4.4 protocol.
+
+A query is **correct** when it parses and matches the data model
+(labels, property keys, relationship directions).  Otherwise it belongs
+to one or more of the three error categories; for the correctness census
+of Table 6 the *primary* category is, in the paper's order of
+discussion: direction first, then hallucinated properties, then syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cypher.linter import ErrorCategory, Linter, LintReport
+from repro.graph.schema import GraphSchema
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Verdict on one generated query."""
+
+    query: str
+    is_correct: bool
+    primary_category: Optional[ErrorCategory]
+    report: LintReport
+
+    @property
+    def category_name(self) -> Optional[str]:
+        return self.primary_category.value if self.primary_category else None
+
+
+_PRIORITY = (
+    ErrorCategory.SYNTAX,
+    ErrorCategory.DIRECTION,
+    ErrorCategory.HALLUCINATED_PROPERTY,
+)
+
+
+class QueryClassifier:
+    """Applies the §4.4 criteria against an inferred schema."""
+
+    def __init__(self, schema: GraphSchema) -> None:
+        self._linter = Linter(schema)
+
+    def classify(self, query_text: str) -> Classification:
+        report = self._linter.lint(query_text)
+        if report.is_correct:
+            return Classification(
+                query=query_text, is_correct=True,
+                primary_category=None, report=report,
+            )
+        categories = report.categories()
+        primary = next(
+            (category for category in _PRIORITY if category in categories),
+            None,
+        )
+        return Classification(
+            query=query_text, is_correct=False,
+            primary_category=primary, report=report,
+        )

@@ -1,0 +1,333 @@
+"""Abstract syntax tree for the Cypher subset.
+
+Expression nodes evaluate to values; clause nodes transform a stream of
+bindings (see :mod:`repro.cypher.executor`).  All nodes are frozen
+dataclasses so ASTs can be hashed, compared and cached safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class Expression:
+    """Marker base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: object
+
+
+@dataclass(frozen=True)
+class Variable(Expression):
+    name: str
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    name: str
+
+
+@dataclass(frozen=True)
+class PropertyAccess(Expression):
+    subject: Expression
+    key: str
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Arithmetic, comparison and boolean binary operators.
+
+    ``op`` is one of: ``+ - * / % ^ = <> < <= > >= AND OR XOR``.
+    """
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """``NOT expr`` or arithmetic negation ``-expr``."""
+
+    op: str  # 'NOT' | '-' | '+'
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    name: str                      # lower-cased
+    args: tuple[Expression, ...]
+    distinct: bool = False
+    star: bool = False             # count(*)
+
+
+@dataclass(frozen=True)
+class ListLiteral(Expression):
+    items: tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class MapLiteral(Expression):
+    entries: tuple[tuple[str, Expression], ...]
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False          # IS NOT NULL
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    needle: Expression
+    haystack: Expression
+
+
+@dataclass(frozen=True)
+class StringPredicate(Expression):
+    """STARTS WITH / ENDS WITH / CONTAINS."""
+
+    kind: str                      # 'STARTS WITH' | 'ENDS WITH' | 'CONTAINS'
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class RegexMatch(Expression):
+    """``left =~ right`` — full-string regular-expression match."""
+
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class CaseExpression(Expression):
+    """Both simple (operand set) and searched CASE."""
+
+    operand: Optional[Expression]
+    whens: tuple[tuple[Expression, Expression], ...]
+    default: Optional[Expression]
+
+
+@dataclass(frozen=True)
+class LabelPredicate(Expression):
+    """``n:Label`` used as a boolean predicate in WHERE."""
+
+    subject: Expression
+    labels: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ListIndex(Expression):
+    subject: Expression
+    index: Expression
+
+
+@dataclass(frozen=True)
+class ListSlice(Expression):
+    subject: Expression
+    start: Optional[Expression]
+    end: Optional[Expression]
+
+
+@dataclass(frozen=True)
+class ListComprehension(Expression):
+    """``[x IN list WHERE pred | expr]``."""
+
+    variable: str
+    source: Expression
+    predicate: Optional[Expression]
+    projection: Optional[Expression]
+
+
+@dataclass(frozen=True)
+class PatternExpression(Expression):
+    """A bare path pattern used as an existence predicate in WHERE,
+    e.g. ``NOT (u)-[:FOLLOWS]->(u)``."""
+
+    pattern: "PathPattern"
+
+
+@dataclass(frozen=True)
+class ExistsExpression(Expression):
+    """``exists(n.prop)`` or ``EXISTS { (pattern) }``-style existence."""
+
+    operand: Expression
+
+
+# ----------------------------------------------------------------------
+# patterns
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NodePattern:
+    variable: Optional[str]
+    labels: tuple[str, ...]
+    properties: tuple[tuple[str, Expression], ...] = ()
+
+
+@dataclass(frozen=True)
+class RelPattern:
+    """A relationship pattern element.
+
+    ``direction`` is ``'out'`` (``-[]->``), ``'in'`` (``<-[]-``) or
+    ``'any'`` (``-[]-``).  ``min_hops``/``max_hops`` support the simple
+    variable-length form ``*m..n`` (both default to 1 for a plain edge).
+    """
+
+    variable: Optional[str]
+    types: tuple[str, ...]
+    direction: str
+    properties: tuple[tuple[str, Expression], ...] = ()
+    min_hops: int = 1
+    max_hops: int = 1
+
+    @property
+    def is_variable_length(self) -> bool:
+        return (self.min_hops, self.max_hops) != (1, 1)
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """An alternating node/relationship chain, optionally named."""
+
+    variable: Optional[str]
+    elements: tuple[Union[NodePattern, RelPattern], ...]
+
+    def nodes(self) -> tuple[NodePattern, ...]:
+        return tuple(e for e in self.elements if isinstance(e, NodePattern))
+
+    def relationships(self) -> tuple[RelPattern, ...]:
+        return tuple(e for e in self.elements if isinstance(e, RelPattern))
+
+
+# ----------------------------------------------------------------------
+# clauses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProjectionItem:
+    """One ``expr [AS alias]`` item in WITH/RETURN."""
+
+    expression: Expression
+    alias: Optional[str]
+    text: str                      # source text, used as the column name
+
+    @property
+    def column_name(self) -> str:
+        return self.alias if self.alias is not None else self.text
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class MatchClause:
+    patterns: tuple[PathPattern, ...]
+    optional: bool = False
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class UnwindClause:
+    expression: Expression
+    alias: str
+
+
+@dataclass(frozen=True)
+class WithClause:
+    items: tuple[ProjectionItem, ...]
+    distinct: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    skip: Optional[Expression] = None
+    limit: Optional[Expression] = None
+    where: Optional[Expression] = None
+    star: bool = False             # WITH *
+
+
+@dataclass(frozen=True)
+class ReturnClause:
+    items: tuple[ProjectionItem, ...]
+    distinct: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    skip: Optional[Expression] = None
+    limit: Optional[Expression] = None
+    star: bool = False             # RETURN *
+
+
+@dataclass(frozen=True)
+class CreateClause:
+    patterns: tuple[PathPattern, ...]
+
+
+@dataclass(frozen=True)
+class MergeClause:
+    pattern: PathPattern
+
+
+@dataclass(frozen=True)
+class SetItem:
+    """``target.key = value`` or (key None) ``target += map``."""
+
+    target: str                     # variable name
+    key: Optional[str]
+    value: Expression
+    replace: bool = False           # '=' with key None replaces the map
+
+
+@dataclass(frozen=True)
+class SetClause:
+    items: tuple[SetItem, ...]
+
+
+@dataclass(frozen=True)
+class RemoveItem:
+    """``target.key`` (property removal); label removal unsupported."""
+
+    target: str
+    key: str
+
+
+@dataclass(frozen=True)
+class RemoveClause:
+    items: tuple[RemoveItem, ...]
+
+
+@dataclass(frozen=True)
+class DeleteClause:
+    expressions: tuple[Expression, ...]
+    detach: bool = False
+
+
+Clause = Union[
+    MatchClause, UnwindClause, WithClause, ReturnClause,
+    CreateClause, MergeClause, SetClause, RemoveClause, DeleteClause,
+]
+
+
+@dataclass(frozen=True)
+class SingleQuery:
+    clauses: tuple[Clause, ...]
+
+    @property
+    def return_clause(self) -> Optional[ReturnClause]:
+        last = self.clauses[-1] if self.clauses else None
+        return last if isinstance(last, ReturnClause) else None
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    queries: tuple[SingleQuery, ...]
+    all: bool = False
+
+
+Query = Union[SingleQuery, UnionQuery]

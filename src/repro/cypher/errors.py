@@ -1,0 +1,33 @@
+"""Exceptions raised by the Cypher interpreter."""
+
+from __future__ import annotations
+
+
+class CypherError(Exception):
+    """Base class for all Cypher-layer errors."""
+
+
+class CypherSyntaxError(CypherError):
+    """The query text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        location = f" at position {position}" if position is not None else ""
+        super().__init__(f"{message}{location}")
+        self.position = position
+
+
+class CypherSemanticError(CypherError):
+    """The query parsed but is not executable (unknown variable, bad
+    aggregation placement, …)."""
+
+
+class CypherTypeError(CypherError):
+    """A runtime operation was applied to values of the wrong type."""
+
+
+class UnknownFunctionError(CypherSemanticError):
+    """The query calls a function the interpreter does not provide."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown function: {name}()")
+        self.name = name

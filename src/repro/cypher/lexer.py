@@ -1,0 +1,206 @@
+"""Hand-written lexer for the Cypher subset.
+
+Produces a flat token list.  ``-`` is always emitted as ``DASH``; the parser
+decides from context whether it is part of a relationship pattern or an
+arithmetic minus.  ``<`` followed by ``-`` becomes ``ARROW_LEFT`` only when
+that is lexically unambiguous (``<-[``/``<-(``), so comparisons like
+``a < -1`` still work.
+"""
+
+from __future__ import annotations
+
+from repro.cypher.errors import CypherSyntaxError
+from repro.cypher.tokens import KEYWORDS, Token, TokenType
+
+_SIMPLE = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ":": TokenType.COLON,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "|": TokenType.PIPE,
+    "+": TokenType.PLUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "^": TokenType.CARET,
+    "$": TokenType.DOLLAR,
+}
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_ident_part(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+class Lexer:
+    """Single-pass tokenizer over a query string."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    def tokenize(self) -> list[Token]:
+        """Tokenize the entire input, appending a final EOF token."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char.isspace():
+                self.pos += 1
+            elif char == "/" and self._peek(1) == "/":
+                newline = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if newline == -1 else newline + 1
+            elif char == "/" and self._peek(1) == "*":
+                close = self.text.find("*/", self.pos + 2)
+                if close == -1:
+                    raise CypherSyntaxError("unterminated comment", self.pos)
+                self.pos = close + 2
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        start = self.pos
+        if self.pos >= len(self.text):
+            return Token(TokenType.EOF, "", start)
+
+        char = self.text[self.pos]
+
+        if char in "'\"":
+            return self._string(char)
+        if char.isdigit():
+            return self._number()
+        if _is_ident_start(char):
+            return self._word()
+        if char == "`":
+            return self._backtick_ident()
+
+        # multi-character operators, longest first
+        two = self.text[self.pos:self.pos + 2]
+        if two == "=~":
+            self.pos += 2
+            return Token(TokenType.REGEX_MATCH, two, start)
+        if two == "<>":
+            self.pos += 2
+            return Token(TokenType.NEQ, two, start)
+        if two == "<=":
+            self.pos += 2
+            return Token(TokenType.LTE, two, start)
+        if two == ">=":
+            self.pos += 2
+            return Token(TokenType.GTE, two, start)
+        if two == "->":
+            self.pos += 2
+            return Token(TokenType.ARROW_RIGHT, two, start)
+        if two == "<-" and self._peek(2) in "([-":
+            self.pos += 2
+            return Token(TokenType.ARROW_LEFT, two, start)
+        if two == "!=":
+            self.pos += 2
+            return Token(TokenType.NEQ, two, start)
+
+        if char == "=":
+            self.pos += 1
+            return Token(TokenType.EQ, char, start)
+        if char == "<":
+            self.pos += 1
+            return Token(TokenType.LT, char, start)
+        if char == ">":
+            self.pos += 1
+            return Token(TokenType.GT, char, start)
+        if char == "-":
+            self.pos += 1
+            return Token(TokenType.DASH, char, start)
+        if char in _SIMPLE:
+            self.pos += 1
+            return Token(_SIMPLE[char], char, start)
+
+        raise CypherSyntaxError(f"unexpected character {char!r}", start)
+
+    # ------------------------------------------------------------------
+    def _string(self, quote: str) -> Token:
+        start = self.pos
+        self.pos += 1
+        parts: list[str] = []
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char == "\\":
+                escape = self._peek(1)
+                mapping = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\",
+                           "'": "'", '"': '"'}
+                parts.append(mapping.get(escape, "\\" + escape))
+                self.pos += 2
+            elif char == quote:
+                self.pos += 1
+                return Token(TokenType.STRING, "".join(parts), start)
+            else:
+                parts.append(char)
+                self.pos += 1
+        raise CypherSyntaxError("unterminated string literal", start)
+
+    def _number(self) -> Token:
+        start = self.pos
+        while self._peek().isdigit():
+            self.pos += 1
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self.pos += 1
+            while self._peek().isdigit():
+                self.pos += 1
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self.pos += 1
+            if self._peek() in "+-":
+                self.pos += 1
+            while self._peek().isdigit():
+                self.pos += 1
+        text = self.text[start:self.pos]
+        kind = TokenType.FLOAT if is_float else TokenType.INTEGER
+        return Token(kind, text, start)
+
+    def _word(self) -> Token:
+        start = self.pos
+        while _is_ident_part(self._peek()):
+            self.pos += 1
+        text = self.text[start:self.pos]
+        if text.upper() in KEYWORDS:
+            return Token(TokenType.KEYWORD, text, start)
+        return Token(TokenType.IDENT, text, start)
+
+    def _backtick_ident(self) -> Token:
+        start = self.pos
+        close = self.text.find("`", self.pos + 1)
+        if close == -1:
+            raise CypherSyntaxError("unterminated backtick identifier", start)
+        text = self.text[self.pos + 1:close]
+        self.pos = close + 1
+        return Token(TokenType.IDENT, text, start)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token."""
+    return Lexer(text).tokenize()

@@ -1,0 +1,287 @@
+"""Graph pattern matching for MATCH clauses.
+
+Implements Cypher's matching semantics for the supported subset:
+
+* label and property-map filters on nodes and relationships;
+* all three directions (``->``, ``<-``, undirected);
+* simple variable-length relationships ``*m..n``;
+* *relationship uniqueness* within a single MATCH clause (the same edge
+  cannot be traversed twice, Cypher's "relationship isomorphism");
+* re-use of already-bound variables (joins across patterns and clauses).
+
+Matching is a depth-first search seeded from the cheapest available index
+(bound variable, then label index, then full scan).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.cypher.ast_nodes import NodePattern, PathPattern, RelPattern
+from repro.cypher.errors import CypherSemanticError
+from repro.graph.model import Edge, Node
+from repro.graph.store import PropertyGraph
+
+
+class Path:
+    """A matched path: alternating nodes and edges."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Sequence[object]) -> None:
+        self.elements = tuple(elements)
+
+    def nodes(self) -> list[Node]:
+        return [e for e in self.elements if isinstance(e, Node)]
+
+    def relationships(self) -> list[Edge]:
+        return [e for e in self.elements if isinstance(e, Edge)]
+
+    def __len__(self) -> int:
+        return len(self.relationships())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Path) and [
+            getattr(e, "id", e) for e in self.elements
+        ] == [getattr(e, "id", e) for e in other.elements]
+
+    def __hash__(self) -> int:
+        return hash(tuple(getattr(e, "id", e) for e in self.elements))
+
+    def __repr__(self) -> str:
+        return f"Path(len={len(self)})"
+
+
+def _node_satisfies(
+    graph: PropertyGraph,
+    node: Node,
+    pattern: NodePattern,
+    bindings: Mapping[str, object],
+) -> bool:
+    if any(label not in node.labels for label in pattern.labels):
+        return False
+    return _properties_match(graph, node, pattern.properties, bindings)
+
+
+def _edge_satisfies(
+    graph: PropertyGraph,
+    edge: Edge,
+    pattern: RelPattern,
+    bindings: Mapping[str, object],
+) -> bool:
+    if pattern.types and edge.label not in pattern.types:
+        return False
+    return _properties_match(graph, edge, pattern.properties, bindings)
+
+
+def _properties_match(
+    graph: PropertyGraph,
+    element: Node | Edge,
+    property_filters: tuple,
+    bindings: Mapping[str, object],
+) -> bool:
+    if not property_filters:
+        return True
+    # evaluated lazily to avoid a circular import
+    from repro.cypher.evaluator import EvalContext, _equals, evaluate
+
+    ctx = EvalContext(graph=graph, bindings=dict(bindings))
+    for key, value_expr in property_filters:
+        expected = evaluate(value_expr, ctx)
+        if _equals(element.properties.get(key), expected) is not True:
+            return False
+    return True
+
+
+def _candidate_nodes(
+    graph: PropertyGraph,
+    pattern: NodePattern,
+    bindings: Mapping[str, object],
+) -> Iterator[Node]:
+    """Candidates for a node pattern, using the best index available."""
+    if pattern.variable and pattern.variable in bindings:
+        bound = bindings[pattern.variable]
+        if isinstance(bound, Node) and _node_satisfies(
+            graph, bound, pattern, bindings
+        ):
+            yield bound
+        return
+    if pattern.labels:
+        source = graph.nodes(label=pattern.labels[0])
+    else:
+        source = graph.nodes()
+    for node in source:
+        if _node_satisfies(graph, node, pattern, bindings):
+            yield node
+
+
+def _expand(
+    graph: PropertyGraph,
+    node: Node,
+    rel: RelPattern,
+) -> Iterator[tuple[Edge, Node]]:
+    """Edges leaving ``node`` that satisfy ``rel``'s direction and type,
+    paired with the node they lead to."""
+    label_filter = rel.types[0] if len(rel.types) == 1 else None
+    if rel.direction in ("out", "any"):
+        for edge in graph.out_edges(node.id, label=label_filter):
+            yield edge, graph.node(edge.dst)
+    if rel.direction in ("in", "any"):
+        for edge in graph.in_edges(node.id, label=label_filter):
+            yield edge, graph.node(edge.src)
+
+
+def _match_path_elements(
+    graph: PropertyGraph,
+    elements: Sequence[object],
+    index: int,
+    current: Node,
+    bindings: dict[str, object],
+    used_edges: set[str],
+    trail: list[object],
+) -> Iterator[tuple[dict[str, object], set[str], list[object]]]:
+    """Recursive DFS over one path's remaining (rel, node) element pairs."""
+    if index >= len(elements):
+        yield bindings, used_edges, trail
+        return
+
+    rel: RelPattern = elements[index]          # type: ignore[assignment]
+    next_node_pattern: NodePattern = elements[index + 1]  # type: ignore
+
+    if not rel.is_variable_length:
+        for edge, neighbour in _expand(graph, current, rel):
+            if edge.id in used_edges:
+                continue
+            if not _edge_satisfies(graph, edge, rel, bindings):
+                continue
+            if rel.variable and rel.variable in bindings:
+                bound = bindings[rel.variable]
+                if not isinstance(bound, Edge) or bound.id != edge.id:
+                    continue
+            if not _node_satisfies(graph, neighbour, next_node_pattern, bindings):
+                continue
+            if (
+                next_node_pattern.variable
+                and next_node_pattern.variable in bindings
+            ):
+                bound = bindings[next_node_pattern.variable]
+                if not isinstance(bound, Node) or bound.id != neighbour.id:
+                    continue
+            new_bindings = dict(bindings)
+            if rel.variable:
+                new_bindings[rel.variable] = edge
+            if next_node_pattern.variable:
+                new_bindings[next_node_pattern.variable] = neighbour
+            yield from _match_path_elements(
+                graph, elements, index + 2, neighbour,
+                new_bindings, used_edges | {edge.id},
+                trail + [edge, neighbour],
+            )
+        return
+
+    # variable-length expansion: DFS up to max_hops
+    def walk(
+        node: Node,
+        hops: int,
+        edges_so_far: list[Edge],
+        used: set[str],
+    ) -> Iterator[tuple[list[Edge], Node, set[str]]]:
+        if hops >= rel.min_hops:
+            yield edges_so_far, node, used
+        if hops >= rel.max_hops:
+            return
+        for edge, neighbour in _expand(graph, node, rel):
+            if edge.id in used:
+                continue
+            if not _edge_satisfies(graph, edge, rel, bindings):
+                continue
+            yield from walk(
+                neighbour, hops + 1, edges_so_far + [edge], used | {edge.id}
+            )
+
+    for edges, endpoint, used in walk(current, 0, [], used_edges):
+        if not _node_satisfies(graph, endpoint, next_node_pattern, bindings):
+            continue
+        if (
+            next_node_pattern.variable
+            and next_node_pattern.variable in bindings
+        ):
+            bound = bindings[next_node_pattern.variable]
+            if not isinstance(bound, Node) or bound.id != endpoint.id:
+                continue
+        new_bindings = dict(bindings)
+        if rel.variable:
+            new_bindings[rel.variable] = list(edges)
+        if next_node_pattern.variable:
+            new_bindings[next_node_pattern.variable] = endpoint
+        new_trail = list(trail)
+        for edge in edges:
+            new_trail.append(edge)
+        new_trail.append(endpoint)
+        yield from _match_path_elements(
+            graph, elements, index + 2, endpoint,
+            new_bindings, used, new_trail,
+        )
+
+
+def match_path(
+    graph: PropertyGraph,
+    pattern: PathPattern,
+    bindings: dict[str, object],
+    used_edges: set[str],
+) -> Iterator[tuple[dict[str, object], set[str]]]:
+    """Yield all (bindings, used_edges) extensions matching one path."""
+    if not pattern.elements:
+        return
+    first = pattern.elements[0]
+    if not isinstance(first, NodePattern):
+        raise CypherSemanticError("path pattern must start with a node")
+    for start in _candidate_nodes(graph, first, bindings):
+        start_bindings = dict(bindings)
+        if first.variable:
+            start_bindings[first.variable] = start
+        for final_bindings, final_used, trail in _match_path_elements(
+            graph, pattern.elements, 1, start,
+            start_bindings, set(used_edges), [start],
+        ):
+            if pattern.variable:
+                final_bindings = dict(final_bindings)
+                final_bindings[pattern.variable] = Path(trail)
+            yield final_bindings, final_used
+
+
+def match_patterns(
+    graph: PropertyGraph,
+    patterns: Sequence[PathPattern],
+    bindings: dict[str, object],
+) -> Iterator[dict[str, object]]:
+    """Match a comma-separated pattern list (one MATCH clause).
+
+    Relationship uniqueness applies across all patterns of the clause.
+    """
+
+    def recurse(
+        index: int,
+        current_bindings: dict[str, object],
+        used_edges: set[str],
+    ) -> Iterator[dict[str, object]]:
+        if index >= len(patterns):
+            yield current_bindings
+            return
+        for new_bindings, new_used in match_path(
+            graph, patterns[index], current_bindings, used_edges
+        ):
+            yield from recurse(index + 1, new_bindings, new_used)
+
+    yield from recurse(0, bindings, set())
+
+
+def pattern_exists(
+    graph: PropertyGraph,
+    pattern: PathPattern,
+    bindings: Mapping[str, object],
+) -> bool:
+    """True if ``pattern`` has at least one match extending ``bindings``."""
+    for _match in match_path(graph, pattern, dict(bindings), set()):
+        return True
+    return False

@@ -1,0 +1,77 @@
+"""Token definitions for the Cypher lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    """Kinds of lexical tokens in the supported Cypher subset."""
+
+    IDENT = auto()        # identifiers and non-reserved words
+    KEYWORD = auto()      # reserved words (MATCH, WHERE, ...), upper-cased
+    STRING = auto()       # 'quoted' or "quoted"
+    INTEGER = auto()
+    FLOAT = auto()
+    # punctuation / operators
+    LPAREN = auto()       # (
+    RPAREN = auto()       # )
+    LBRACKET = auto()     # [
+    RBRACKET = auto()     # ]
+    LBRACE = auto()       # {
+    RBRACE = auto()       # }
+    COLON = auto()        # :
+    COMMA = auto()        # ,
+    DOT = auto()          # .
+    PIPE = auto()         # |
+    PLUS = auto()         # +
+    MINUS = auto()        # -
+    STAR = auto()         # *
+    SLASH = auto()        # /
+    PERCENT = auto()      # %
+    CARET = auto()        # ^
+    EQ = auto()           # =
+    NEQ = auto()          # <>
+    LT = auto()           # <
+    LTE = auto()          # <=
+    GT = auto()           # >
+    GTE = auto()          # >=
+    REGEX_MATCH = auto()  # =~
+    ARROW_RIGHT = auto()  # ->
+    ARROW_LEFT = auto()   # <-
+    DASH = auto()         # -, disambiguated from MINUS by the parser
+    DOLLAR = auto()       # $ (parameters)
+    EOF = auto()
+
+
+#: Reserved words.  Keyword tokens keep their original text (labels like
+#: ``:Match`` must not lose their case); ``Token.is_keyword`` compares
+#: case-insensitively, as Cypher requires.
+KEYWORDS = frozenset({
+    "MATCH", "OPTIONAL", "WHERE", "WITH", "RETURN", "AS", "AND", "OR",
+    "XOR", "NOT", "IN", "IS", "NULL", "TRUE", "FALSE", "DISTINCT",
+    "ORDER", "BY", "ASC", "ASCENDING", "DESC", "DESCENDING", "SKIP",
+    "LIMIT", "UNWIND", "STARTS", "ENDS", "CONTAINS", "EXISTS", "CASE",
+    "WHEN", "THEN", "ELSE", "END", "UNION", "ALL", "CREATE", "MERGE",
+    "DELETE", "SET", "REMOVE", "CALL", "YIELD", "DETACH",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    text: str
+    position: int
+
+    @property
+    def value(self) -> str:
+        return self.text
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text.upper() in words
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.text!r}@{self.position})"

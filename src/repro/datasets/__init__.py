@@ -1,0 +1,19 @@
+"""Synthetic dataset generators matching the paper's Table 1."""
+
+from repro.datasets.base import Dataset, DatasetBuilder, DirtReport
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    DISPLAY_NAMES,
+    clear_cache,
+    load,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DISPLAY_NAMES",
+    "Dataset",
+    "DatasetBuilder",
+    "DirtReport",
+    "clear_cache",
+    "load",
+]

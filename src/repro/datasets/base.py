@@ -1,0 +1,102 @@
+"""Shared infrastructure for the synthetic dataset generators.
+
+Each generator reproduces the *schema* of a public Neo4j example dataset
+(node/edge labels, property vocabulary, key relationships) and the exact
+element counts of the paper's Table 1, with a seeded random layer for
+property values and for injected inconsistencies ("dirt") so that
+confidence scores land below 100% for the right reasons.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+
+from repro.graph.store import PropertyGraph
+from repro.rules.model import ConsistencyRule
+
+
+@dataclass
+class DirtReport:
+    """Accounting of injected inconsistencies, keyed by rule kind."""
+
+    injected: dict[str, int] = field(default_factory=dict)
+
+    def note(self, kind: str, count: int = 1) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + count
+
+    def total(self) -> int:
+        return sum(self.injected.values())
+
+
+@dataclass
+class Dataset:
+    """A generated dataset: graph, ground-truth rules and dirt report."""
+
+    graph: PropertyGraph
+    true_rules: list[ConsistencyRule]
+    dirt: DirtReport
+
+
+class DatasetBuilder:
+    """Seeded helpers used by all generators."""
+
+    def __init__(self, name: str, seed: int) -> None:
+        self.graph = PropertyGraph(name=name)
+        self.rng = random.Random(seed)
+        self.dirt = DirtReport()
+        self._edge_counter = 0
+
+    # ------------------------------------------------------------------
+    def next_edge_id(self, prefix: str) -> str:
+        self._edge_counter += 1
+        return f"{prefix}{self._edge_counter}"
+
+    def word(self, length: int = 8) -> str:
+        return "".join(
+            self.rng.choice(string.ascii_lowercase) for _ in range(length)
+        )
+
+    def sentence(self, words: int) -> str:
+        return " ".join(self.word(self.rng.randint(3, 9)) for _ in range(words))
+
+    def iso_date(self, year_lo: int = 2018, year_hi: int = 2021) -> str:
+        year = self.rng.randint(year_lo, year_hi)
+        month = self.rng.randint(1, 12)
+        day = self.rng.randint(1, 28)
+        return f"{year:04d}-{month:02d}-{day:02d}"
+
+    def iso_datetime(self, year_lo: int = 2018, year_hi: int = 2021) -> str:
+        date = self.iso_date(year_lo, year_hi)
+        hour = self.rng.randint(0, 23)
+        minute = self.rng.randint(0, 59)
+        second = self.rng.randint(0, 59)
+        return f"{date}T{hour:02d}:{minute:02d}:{second:02d}"
+
+    def maybe(self, probability: float) -> bool:
+        return self.rng.random() < probability
+
+    def choice(self, items):
+        return self.rng.choice(items)
+
+    def sample(self, items, count: int):
+        return self.rng.sample(items, count)
+
+    # ------------------------------------------------------------------
+    def check_table1(
+        self, nodes: int, edges: int, node_labels: int, edge_labels: int
+    ) -> None:
+        """Assert the generated sizes equal the paper's Table 1 row."""
+        actual = (
+            self.graph.node_count(),
+            self.graph.edge_count(),
+            len(self.graph.node_labels()),
+            len(self.graph.edge_labels()),
+        )
+        expected = (nodes, edges, node_labels, edge_labels)
+        if actual != expected:
+            raise AssertionError(
+                f"{self.graph.name}: generated sizes {actual} != "
+                f"Table 1 target {expected}"
+            )

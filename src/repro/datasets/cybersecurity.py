@@ -1,0 +1,339 @@
+"""Cybersecurity — synthetic stand-in for the Neo4j cybersecurity graph.
+
+Table 1 target: 953 nodes, 4,838 edges, 7 node labels, 16 edge labels.
+
+The public dataset models a BloodHound-style Active Directory
+environment: "users, groups, domains, policies, and computers".  Schema:
+
+* nodes — ``Domain`` (2), ``OU`` (20), ``GPO`` (15), ``Group`` (60),
+  ``Computer`` (250), ``User`` (600), ``Vulnerability`` (6);
+* edges (16 types) — ``MEMBER_OF``, ``ADMIN_TO``, ``HAS_SESSION``,
+  ``CONTAINS``, ``GP_LINK``, ``TRUSTED_BY``, ``CAN_RDP``,
+  ``EXECUTE_DCOM``, ``ALLOWED_TO_DELEGATE``, ``OWNS``, ``GENERIC_ALL``,
+  ``WRITE_DACL``, ``WRITE_OWNER``, ``ADD_MEMBER``,
+  ``FORCE_CHANGE_PASSWORD``, ``EXPLOITS``.
+
+The paper's example rules for this dataset — *"The owned property should
+only be True or False"* and *"The domain property should be a string
+value matching domain format"* — are both real constraints here, and
+both are violated by injected dirt.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import Dataset, DatasetBuilder
+from repro.rules.model import ConsistencyRule, RuleKind
+from repro.rules.nl import to_natural_language
+
+NODE_TARGET = 953
+EDGE_TARGET = 4838
+
+N_DOMAIN = 2
+N_OU = 20
+N_GPO = 15
+N_GROUP = 60
+N_COMPUTER = 250
+N_USER = 600
+N_VULN = 6
+
+E_CONTAINS = N_OU + N_COMPUTER + N_USER          # 870
+E_GP_LINK = 30
+E_TRUSTED_BY = 2
+E_ADMIN_TO = 300
+E_HAS_SESSION = 700
+E_CAN_RDP = 400
+E_EXECUTE_DCOM = 100
+E_DELEGATE = 50
+E_OWNS = 80
+E_GENERIC_ALL = 60
+E_WRITE_DACL = 25
+E_WRITE_OWNER = 25
+E_ADD_MEMBER = 40
+E_FORCE_PWD = 60
+E_EXPLOITS = 36
+E_MEMBER_OF = EDGE_TARGET - (
+    E_CONTAINS + E_GP_LINK + E_TRUSTED_BY + E_ADMIN_TO + E_HAS_SESSION
+    + E_CAN_RDP + E_EXECUTE_DCOM + E_DELEGATE + E_OWNS + E_GENERIC_ALL
+    + E_WRITE_DACL + E_WRITE_OWNER + E_ADD_MEMBER + E_FORCE_PWD + E_EXPLOITS
+)
+
+SEVERITIES = ("Low", "Medium", "High", "Critical")
+OPERATING_SYSTEMS = (
+    "Windows Server 2016", "Windows Server 2019", "Windows 10 Pro",
+    "Windows 10 Enterprise", "Windows 7 Professional",
+)
+DOMAIN_REGEX = r"([a-z0-9-]+\.)+[a-z]{2,}"
+CVE_REGEX = r"CVE-\d{4}-\d{4,5}"
+
+
+def _rule(kind: RuleKind, **fields: object) -> ConsistencyRule:
+    rule = ConsistencyRule(kind=kind, text="", **fields)  # type: ignore[arg-type]
+    return ConsistencyRule(
+        kind=rule.kind, text=to_natural_language(rule), label=rule.label,
+        properties=rule.properties, edge_label=rule.edge_label,
+        src_label=rule.src_label, dst_label=rule.dst_label,
+        allowed_values=rule.allowed_values,
+        pattern_regex=rule.pattern_regex,
+        scope_edge_label=rule.scope_edge_label, scope_label=rule.scope_label,
+        time_property=rule.time_property,
+    )
+
+
+def true_rules() -> list[ConsistencyRule]:
+    """Ground-truth consistency rules that (mostly) hold in the data."""
+    return [
+        _rule(RuleKind.PROPERTY_EXISTS, label="User",
+              properties=("name", "objectid")),
+        _rule(RuleKind.PROPERTY_EXISTS, label="Computer",
+              properties=("name", "operatingsystem")),
+        _rule(RuleKind.UNIQUENESS, label="User", properties=("objectid",)),
+        _rule(RuleKind.UNIQUENESS, label="Computer",
+              properties=("objectid",)),
+        _rule(RuleKind.VALUE_DOMAIN, label="User", properties=("owned",),
+              allowed_values=(True, False)),
+        _rule(RuleKind.VALUE_DOMAIN, label="Vulnerability",
+              properties=("severity",), allowed_values=SEVERITIES),
+        _rule(RuleKind.VALUE_FORMAT, label="Domain", properties=("name",),
+              pattern_regex=DOMAIN_REGEX),
+        _rule(RuleKind.VALUE_FORMAT, label="Vulnerability",
+              properties=("cve",), pattern_regex=CVE_REGEX),
+        _rule(RuleKind.ENDPOINT, edge_label="HAS_SESSION",
+              src_label="Computer", dst_label="User"),
+        _rule(RuleKind.ENDPOINT, edge_label="EXPLOITS",
+              src_label="Vulnerability", dst_label="Computer"),
+        _rule(RuleKind.MANDATORY_EDGE, label="Computer",
+              edge_label="CONTAINS", src_label="OU", dst_label="Computer"),
+        _rule(RuleKind.NO_SELF_LOOP, label="Group",
+              edge_label="MEMBER_OF"),
+        _rule(RuleKind.NO_SELF_LOOP, label="User",
+              edge_label="FORCE_CHANGE_PASSWORD"),
+        _rule(RuleKind.PATTERN, label="GPO", edge_label="GP_LINK",
+              dst_label="OU", scope_label="Computer",
+              scope_edge_label="CONTAINS"),
+    ]
+
+
+def generate(seed: int = 1021) -> Dataset:
+    """Generate the Cybersecurity dataset (deterministic per seed)."""
+    builder = DatasetBuilder("Cybersecurity", seed)
+    graph = builder.graph
+    rng = builder.rng
+
+    domain_ids = []
+    for index, name in enumerate(("testlab.local", "corp.example.com"),
+                                 start=1):
+        node_id = f"domain{index}"
+        graph.add_node(node_id, "Domain", {
+            "id": index, "name": name, "functionallevel": "2016",
+        })
+        domain_ids.append(node_id)
+
+    ou_ids = []
+    for index in range(1, N_OU + 1):
+        node_id = f"ou{index}"
+        graph.add_node(node_id, "OU", {
+            "id": index, "name": f"OU-{builder.word(5).upper()}",
+            "blocksinheritance": rng.random() < 0.1,
+        })
+        ou_ids.append(node_id)
+
+    gpo_ids = []
+    for index in range(1, N_GPO + 1):
+        node_id = f"gpo{index}"
+        graph.add_node(node_id, "GPO", {
+            "id": index, "name": f"GPO-{builder.word(6).upper()}",
+            "gpcpath": f"\\\\testlab.local\\sysvol\\{builder.word(8)}",
+        })
+        gpo_ids.append(node_id)
+
+    group_ids = []
+    for index in range(1, N_GROUP + 1):
+        node_id = f"group{index}"
+        graph.add_node(node_id, "Group", {
+            "id": index,
+            "name": f"{builder.word(8).upper()}@TESTLAB.LOCAL",
+            "objectid": f"S-1-5-21-{1000 + index}",
+        })
+        group_ids.append(node_id)
+
+    computer_ids = []
+    for index in range(1, N_COMPUTER + 1):
+        node_id = f"computer{index}"
+        graph.add_node(node_id, "Computer", {
+            "id": index,
+            "name": f"COMP{index:04d}.TESTLAB.LOCAL",
+            "objectid": f"S-1-5-21-{20000 + index}",
+            "operatingsystem": rng.choice(OPERATING_SYSTEMS),
+            "enabled": rng.random() < 0.95,
+        })
+        computer_ids.append(node_id)
+
+    # AD exports are incomplete: stale accounts miss lastlogon, service
+    # accounts miss pwdlastset — the raw material for overgeneralised
+    # existence rules (sub-100% confidence)
+    user_ids = []
+    for index in range(1, N_USER + 1):
+        node_id = f"user{index}"
+        properties = {
+            "id": index,
+            "name": f"{builder.word(7).upper()}@TESTLAB.LOCAL",
+            "objectid": f"S-1-5-21-{50000 + index}",
+            "owned": rng.random() < 0.05,
+            "enabled": rng.random() < 0.9,
+        }
+        if builder.maybe(0.88):
+            properties["pwdlastset"] = builder.iso_datetime(2019, 2020)
+        if builder.maybe(0.78):
+            properties["lastlogon"] = builder.iso_datetime(2020, 2021)
+        graph.add_node(node_id, "User", properties)
+        user_ids.append(node_id)
+
+    vuln_ids = []
+    for index in range(1, N_VULN + 1):
+        node_id = f"vuln{index}"
+        graph.add_node(node_id, "Vulnerability", {
+            "id": index,
+            "cve": f"CVE-20{rng.randint(18, 21)}-{rng.randint(1000, 99999)}",
+            "severity": rng.choice(SEVERITIES),
+        })
+        vuln_ids.append(node_id)
+
+    # --- edges ---------------------------------------------------------
+    for index, ou_id in enumerate(ou_ids):
+        graph.add_edge(
+            builder.next_edge_id("ct"), "CONTAINS",
+            domain_ids[index % N_DOMAIN], ou_id,
+        )
+    # containment is concentrated: most principals live in a few big OUs
+    # (realistic for AD), producing long incident blocks that break at
+    # window boundaries — the §4.5 broken-pattern counts
+    for index, computer_id in enumerate(computer_ids):
+        ou_index = index % 6 if index % 5 else index % N_OU
+        graph.add_edge(
+            builder.next_edge_id("ct"), "CONTAINS",
+            ou_ids[ou_index], computer_id,
+        )
+    for index, user_id in enumerate(user_ids):
+        ou_index = index % 6 if index % 5 else index % N_OU
+        graph.add_edge(
+            builder.next_edge_id("ct"), "CONTAINS",
+            ou_ids[ou_index], user_id,
+        )
+
+    for index in range(E_GP_LINK):
+        graph.add_edge(
+            builder.next_edge_id("gp"), "GP_LINK",
+            gpo_ids[index % N_GPO], ou_ids[index % N_OU],
+        )
+    graph.add_edge(builder.next_edge_id("tr"), "TRUSTED_BY",
+                   domain_ids[0], domain_ids[1])
+    graph.add_edge(builder.next_edge_id("tr"), "TRUSTED_BY",
+                   domain_ids[1], domain_ids[0])
+
+    def random_edges(label, prefix, count, sources, targets,
+                     no_self=True, properties=None):
+        pairs: set[tuple[str, str]] = set()
+        while len(pairs) < count:
+            pair = (rng.choice(sources), rng.choice(targets))
+            if no_self and pair[0] == pair[1]:
+                continue
+            if pair in pairs:
+                continue
+            pairs.add(pair)
+            props = properties(pair) if properties else None
+            graph.add_edge(
+                builder.next_edge_id(prefix), label, pair[0], pair[1], props
+            )
+
+    member_users = E_MEMBER_OF - 400 - 160
+    random_edges("MEMBER_OF", "mo", member_users, user_ids, group_ids)
+    random_edges("MEMBER_OF", "mo", 400, computer_ids, group_ids)
+    random_edges("MEMBER_OF", "mo", 160, group_ids, group_ids)
+    random_edges("ADMIN_TO", "at", E_ADMIN_TO, group_ids, computer_ids)
+    random_edges(
+        "HAS_SESSION", "hs", E_HAS_SESSION, computer_ids, user_ids,
+        properties=lambda pair: {"since": builder.iso_datetime(2020, 2021)},
+    )
+    random_edges("CAN_RDP", "rd", E_CAN_RDP, user_ids, computer_ids)
+    random_edges("EXECUTE_DCOM", "dc", E_EXECUTE_DCOM, user_ids, computer_ids)
+    random_edges("ALLOWED_TO_DELEGATE", "dl", E_DELEGATE,
+                 computer_ids, computer_ids)
+    random_edges("OWNS", "ow", E_OWNS, user_ids, computer_ids)
+    random_edges("GENERIC_ALL", "ga", E_GENERIC_ALL, group_ids, user_ids)
+    random_edges("WRITE_DACL", "wd", E_WRITE_DACL, group_ids, gpo_ids)
+    random_edges("WRITE_OWNER", "wo", E_WRITE_OWNER, group_ids, user_ids)
+    random_edges("ADD_MEMBER", "am", E_ADD_MEMBER, group_ids, group_ids)
+    random_edges("FORCE_CHANGE_PASSWORD", "fp", E_FORCE_PWD,
+                 user_ids, user_ids)
+    random_edges(
+        "EXPLOITS", "ex", E_EXPLOITS, vuln_ids, computer_ids,
+        properties=lambda pair: {"discovered": builder.iso_date(2020, 2021)},
+    )
+
+    _inject_dirt(builder, user_ids, computer_ids, group_ids, vuln_ids)
+    builder.check_table1(NODE_TARGET, EDGE_TARGET, 7, 16)
+    return Dataset(graph=graph, true_rules=true_rules(), dirt=builder.dirt)
+
+
+def _inject_dirt(
+    builder: DatasetBuilder,
+    user_ids: list[str],
+    computer_ids: list[str],
+    group_ids: list[str],
+    vuln_ids: list[str],
+) -> None:
+    graph = builder.graph
+    rng = builder.rng
+
+    # 1) 'owned' outside its {True, False} domain — the paper's example
+    for user_id in rng.sample(user_ids, 5):
+        graph.update_node(user_id, {"owned": "Unknown"})
+        builder.dirt.note("domain_violation:User.owned")
+
+    # 2) missing operatingsystem on some computers
+    for computer_id in rng.sample(computer_ids, 8):
+        graph.remove_node_property(computer_id, "operatingsystem")
+        builder.dirt.note("missing_property:Computer.operatingsystem")
+
+    # 3) duplicated user objectid
+    victim, donor = rng.sample(user_ids, 2)
+    graph.update_node(
+        victim, {"objectid": graph.node(donor).properties["objectid"]}
+    )
+    builder.dirt.note("duplicate_key:User.objectid")
+
+    # 4) a group that is a member of itself
+    group = rng.choice(group_ids)
+    graph.add_edge(builder.next_edge_id("mo"), "MEMBER_OF", group, group)
+    removable = next(
+        edge for edge in graph.edges(label="MEMBER_OF")
+        if edge.src != edge.dst
+    )
+    graph.remove_edge(removable.id)
+    builder.dirt.note("self_loop:Group.MEMBER_OF")
+
+    # 5) a user forced to change their own password (self-loop)
+    user = rng.choice(user_ids)
+    graph.add_edge(
+        builder.next_edge_id("fp"), "FORCE_CHANGE_PASSWORD", user, user
+    )
+    removable = next(
+        edge for edge in graph.edges(label="FORCE_CHANGE_PASSWORD")
+        if edge.src != edge.dst
+    )
+    graph.remove_edge(removable.id)
+    builder.dirt.note("self_loop:User.FORCE_CHANGE_PASSWORD")
+
+    # 6) a malformed CVE identifier
+    graph.update_node(rng.choice(vuln_ids), {"cve": "CVE-BADFORMAT"})
+    builder.dirt.note("format_violation:Vulnerability.cve")
+
+    # 7) a computer outside any OU (CONTAINS edge moved to a user)
+    orphan = rng.choice(computer_ids)
+    for edge in list(graph.in_edges(orphan, label="CONTAINS")):
+        ou = edge.src
+        graph.remove_edge(edge.id)
+        graph.add_edge(
+            builder.next_edge_id("ct"), "CONTAINS", ou, rng.choice(user_ids)
+        )
+    builder.dirt.note("orphan:Computer.CONTAINS")

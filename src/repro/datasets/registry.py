@@ -1,0 +1,54 @@
+"""Name-based access to the three study datasets."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets import cybersecurity, twitter, wwc2019
+from repro.datasets.base import Dataset
+
+#: dataset name -> (generator, default seed)
+_GENERATORS: dict[str, tuple[Callable[[int], Dataset], int]] = {
+    "wwc2019": (wwc2019.generate, 2019),
+    "cybersecurity": (cybersecurity.generate, 1021),
+    "twitter": (twitter.generate, 280),
+}
+
+#: Presentation order used throughout the paper's tables.
+DATASET_NAMES = ("wwc2019", "cybersecurity", "twitter")
+
+#: Table captions use these display names.
+DISPLAY_NAMES = {
+    "wwc2019": "WWC2019",
+    "cybersecurity": "Cybersecurity",
+    "twitter": "Twitter",
+}
+
+_CACHE: dict[tuple[str, int], Dataset] = {}
+
+
+def load(name: str, seed: int | None = None, cache: bool = True) -> Dataset:
+    """Generate (or fetch from cache) a dataset by name.
+
+    Generation is deterministic per (name, seed); caching avoids repeated
+    multi-second builds of the Twitter graph inside the experiment grid.
+    """
+    key = name.lower()
+    if key not in _GENERATORS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(_GENERATORS)}"
+        )
+    generator, default_seed = _GENERATORS[key]
+    effective_seed = default_seed if seed is None else seed
+    cache_key = (key, effective_seed)
+    if cache and cache_key in _CACHE:
+        return _CACHE[cache_key]
+    dataset = generator(effective_seed)
+    if cache:
+        _CACHE[cache_key] = dataset
+    return dataset
+
+
+def clear_cache() -> None:
+    """Drop all cached datasets (useful in tests)."""
+    _CACHE.clear()

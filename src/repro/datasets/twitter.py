@@ -1,0 +1,290 @@
+"""Twitter — synthetic stand-in for the Neo4j twitter-v2 example graph.
+
+Table 1 target: 43,325 nodes, 56,493 edges, 6 node labels, 8 edge labels.
+
+Schema (mirroring github.com/neo4j-graph-examples/twitter-v2):
+
+* nodes — ``Me`` (1), ``User`` (18,000), ``Tweet`` (22,000),
+  ``Hashtag`` (2,200), ``Link`` (1,000), ``Source`` (124);
+* edges — ``POSTS`` User→Tweet, ``FOLLOWS`` User→User, ``TAGS``
+  Tweet→Hashtag, ``MENTIONS`` Tweet→User, ``RETWEETS`` Tweet→Tweet,
+  ``REPLY_TO`` Tweet→Tweet, ``CONTAINS`` Tweet→Link, ``USING``
+  Tweet→Source.
+
+The paper's intro examples for this domain — "a retweet can occur only
+after the original tweet has been posted", "users cannot follow
+themselves", "every tweet must be associated with a valid user who
+posted it" — are all real constraints here, each with injected
+violations.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import Dataset, DatasetBuilder
+from repro.rules.model import ConsistencyRule, RuleKind
+from repro.rules.nl import to_natural_language
+
+NODE_TARGET = 43325
+EDGE_TARGET = 56493
+
+N_ME = 1
+N_USER = 18000
+N_TWEET = 22000
+N_HASHTAG = 2200
+N_LINK = 1000
+N_SOURCE = NODE_TARGET - N_ME - N_USER - N_TWEET - N_HASHTAG - N_LINK
+
+E_POSTS = N_TWEET
+E_TAGS = 8000
+E_MENTIONS = 6000
+E_RETWEETS = 3500
+E_REPLY_TO = 2500
+E_CONTAINS = 1500
+E_USING = 993
+E_FOLLOWS = EDGE_TARGET - (
+    E_POSTS + E_TAGS + E_MENTIONS + E_RETWEETS + E_REPLY_TO
+    + E_CONTAINS + E_USING
+)
+
+URL_REGEX = r"https?://[a-z0-9./-]+"
+
+
+def _rule(kind: RuleKind, **fields: object) -> ConsistencyRule:
+    rule = ConsistencyRule(kind=kind, text="", **fields)  # type: ignore[arg-type]
+    return ConsistencyRule(
+        kind=rule.kind, text=to_natural_language(rule), label=rule.label,
+        properties=rule.properties, edge_label=rule.edge_label,
+        src_label=rule.src_label, dst_label=rule.dst_label,
+        allowed_values=rule.allowed_values,
+        pattern_regex=rule.pattern_regex,
+        scope_edge_label=rule.scope_edge_label, scope_label=rule.scope_label,
+        time_property=rule.time_property,
+    )
+
+
+def true_rules() -> list[ConsistencyRule]:
+    """Ground-truth consistency rules that (mostly) hold in the data."""
+    return [
+        _rule(RuleKind.UNIQUENESS, label="Tweet", properties=("id",)),
+        _rule(RuleKind.UNIQUENESS, label="User", properties=("id",)),
+        _rule(RuleKind.PROPERTY_EXISTS, label="Tweet",
+              properties=("id", "text", "created_at")),
+        _rule(RuleKind.PROPERTY_EXISTS, label="User",
+              properties=("screen_name",)),
+        _rule(RuleKind.ENDPOINT, edge_label="POSTS",
+              src_label="User", dst_label="Tweet"),
+        _rule(RuleKind.ENDPOINT, edge_label="TAGS",
+              src_label="Tweet", dst_label="Hashtag"),
+        _rule(RuleKind.MANDATORY_EDGE, label="Tweet", edge_label="POSTS",
+              src_label="User", dst_label="Tweet"),
+        _rule(RuleKind.NO_SELF_LOOP, label="User", edge_label="FOLLOWS"),
+        _rule(RuleKind.TEMPORAL_ORDER, edge_label="RETWEETS",
+              src_label="Tweet", dst_label="Tweet",
+              time_property="created_at"),
+        _rule(RuleKind.TEMPORAL_ORDER, edge_label="REPLY_TO",
+              src_label="Tweet", dst_label="Tweet",
+              time_property="created_at"),
+        _rule(RuleKind.VALUE_FORMAT, label="Link", properties=("url",),
+              pattern_regex=URL_REGEX),
+    ]
+
+
+def generate(seed: int = 280) -> Dataset:
+    """Generate the Twitter dataset (deterministic per seed)."""
+    builder = DatasetBuilder("Twitter", seed)
+    graph = builder.graph
+    rng = builder.rng
+
+    graph.add_node("me", "Me", {
+        "id": 0, "screen_name": "me", "name": "The Account Owner",
+    })
+
+    # real profiles are incomplete: location, display name and follower
+    # counts are optional.  Windows that happen to see mostly-complete
+    # samples will overgeneralise "should have" rules from them, which
+    # is where sub-100% confidence comes from (§4.3).
+    user_ids = []
+    for index in range(1, N_USER + 1):
+        node_id = f"user{index}"
+        properties = {
+            "id": index,
+            "screen_name": f"@{builder.word(8)}",
+        }
+        if builder.maybe(0.85):
+            properties["name"] = builder.word(6).title()
+        if builder.maybe(0.9):
+            properties["followers"] = rng.randint(0, 100_000)
+        if builder.maybe(0.72):
+            properties["location"] = builder.word(7).title()
+        graph.add_node(node_id, "User", properties)
+        user_ids.append(node_id)
+
+    # tweets are generated in timestamp order: index order == time order
+    tweet_ids = []
+    base_minutes = 0
+    for index in range(1, N_TWEET + 1):
+        base_minutes += rng.randint(1, 9)
+        day = base_minutes // 1440
+        hour = (base_minutes % 1440) // 60
+        minute = base_minutes % 60
+        month = min(1 + day // 28, 12)
+        created = (
+            f"2021-{month:02d}-{(day % 28) + 1:02d}"
+            f"T{hour:02d}:{minute:02d}:00"
+        )
+        node_id = f"tweet{index}"
+        properties = {
+            "id": index,
+            "text": builder.sentence(rng.randint(3, 9)),
+            "created_at": created,
+        }
+        if builder.maybe(0.8):
+            properties["favorites"] = rng.randint(0, 5000)
+        graph.add_node(node_id, "Tweet", properties)
+        tweet_ids.append(node_id)
+
+    hashtag_ids = []
+    for index in range(1, N_HASHTAG + 1):
+        node_id = f"hashtag{index}"
+        graph.add_node(node_id, "Hashtag", {
+            "id": index, "name": f"#{builder.word(7)}",
+        })
+        hashtag_ids.append(node_id)
+
+    link_ids = []
+    for index in range(1, N_LINK + 1):
+        node_id = f"link{index}"
+        graph.add_node(node_id, "Link", {
+            "id": index,
+            "url": f"https://{builder.word(7)}.com/{builder.word(5)}",
+        })
+        link_ids.append(node_id)
+
+    source_ids = []
+    for index in range(1, N_SOURCE + 1):
+        node_id = f"source{index}"
+        graph.add_node(node_id, "Source", {
+            "id": index, "name": f"Twitter for {builder.word(7).title()}",
+        })
+        source_ids.append(node_id)
+
+    # --- edges ---------------------------------------------------------
+    for index, tweet_id in enumerate(tweet_ids):
+        graph.add_edge(
+            builder.next_edge_id("po"), "POSTS",
+            user_ids[index % N_USER], tweet_id,
+        )
+
+    # follower graphs are heavy-tailed: a few accounts follow hundreds.
+    # The resulting long incident blocks are the ones window boundaries
+    # break (§4.5's broken-pattern counts)
+    follow_pairs: set[tuple[str, str]] = set()
+    while len(follow_pairs) < E_FOLLOWS:
+        src = user_ids[int(len(user_ids) * rng.random() ** 3)]
+        pair = (src, rng.choice(user_ids))
+        if pair[0] == pair[1] or pair in follow_pairs:
+            continue
+        follow_pairs.add(pair)
+        graph.add_edge(
+            builder.next_edge_id("fo"), "FOLLOWS", pair[0], pair[1]
+        )
+
+    def tweet_to(label, prefix, count, targets):
+        pairs: set[tuple[str, str]] = set()
+        while len(pairs) < count:
+            pair = (rng.choice(tweet_ids), rng.choice(targets))
+            if pair in pairs:
+                continue
+            pairs.add(pair)
+            graph.add_edge(
+                builder.next_edge_id(prefix), label, pair[0], pair[1]
+            )
+
+    tweet_to("TAGS", "tg", E_TAGS, hashtag_ids)
+    tweet_to("MENTIONS", "mn", E_MENTIONS, user_ids)
+    tweet_to("CONTAINS", "cn", E_CONTAINS, link_ids)
+    tweet_to("USING", "us", E_USING, source_ids)
+
+    # RETWEETS and REPLY_TO point from a later tweet to an earlier one,
+    # so created_at ordering holds by construction
+    def later_to_earlier(label, prefix, count):
+        pairs: set[tuple[str, str]] = set()
+        while len(pairs) < count:
+            later = rng.randint(2, N_TWEET) - 1       # index into tweet_ids
+            earlier = rng.randint(1, later) - 1
+            pair = (tweet_ids[later], tweet_ids[earlier])
+            if pair[0] == pair[1] or pair in pairs:
+                continue
+            pairs.add(pair)
+            graph.add_edge(
+                builder.next_edge_id(prefix), label, pair[0], pair[1]
+            )
+        return pairs
+
+    later_to_earlier("RETWEETS", "rt", E_RETWEETS)
+    later_to_earlier("REPLY_TO", "rp", E_REPLY_TO)
+
+    _inject_dirt(builder, user_ids, tweet_ids, link_ids)
+    builder.check_table1(NODE_TARGET, EDGE_TARGET, 6, 8)
+    return Dataset(graph=graph, true_rules=true_rules(), dirt=builder.dirt)
+
+
+def _inject_dirt(
+    builder: DatasetBuilder,
+    user_ids: list[str],
+    tweet_ids: list[str],
+    link_ids: list[str],
+) -> None:
+    graph = builder.graph
+    rng = builder.rng
+
+    # 1) duplicate tweet ids (violates the paper's flagship Twitter rule)
+    for _ in range(6):
+        victim, donor = rng.sample(tweet_ids, 2)
+        graph.update_node(victim, {"id": graph.node(donor).properties["id"]})
+        builder.dirt.note("duplicate_key:Tweet.id")
+
+    # 2) retweets that pre-date the original tweet
+    retweets = [edge for edge in graph.edges(label="RETWEETS")]
+    for edge in rng.sample(retweets, 12):
+        src_created = graph.node(edge.src).properties["created_at"]
+        graph.update_node(edge.dst, {"created_at": "2022-01-01T00:00:00"})
+        builder.dirt.note("temporal_violation:RETWEETS.created_at")
+        del src_created
+
+    # 3) users following themselves
+    for _ in range(8):
+        user = rng.choice(user_ids)
+        graph.add_edge(builder.next_edge_id("fo"), "FOLLOWS", user, user)
+        removable = next(
+            e for e in graph.edges(label="FOLLOWS") if e.src != e.dst
+        )
+        graph.remove_edge(removable.id)
+        builder.dirt.note("self_loop:User.FOLLOWS")
+
+    # 4) tweets with no posting user (orphans)
+    for tweet_id in rng.sample(tweet_ids, 10):
+        for edge in list(graph.in_edges(tweet_id, label="POSTS")):
+            graph.remove_edge(edge.id)
+            # keep the POSTS census: someone double-posts another tweet
+            other = rng.choice(tweet_ids)
+            while other == tweet_id:
+                other = rng.choice(tweet_ids)
+            graph.add_edge(
+                builder.next_edge_id("po"), "POSTS",
+                rng.choice(user_ids), other,
+            )
+        builder.dirt.note("orphan:Tweet.POSTS")
+
+    # 5) missing created_at / screen_name
+    for tweet_id in rng.sample(tweet_ids, 40):
+        graph.remove_node_property(tweet_id, "created_at")
+        builder.dirt.note("missing_property:Tweet.created_at")
+    for user_id in rng.sample(user_ids, 25):
+        graph.remove_node_property(user_id, "screen_name")
+        builder.dirt.note("missing_property:User.screen_name")
+
+    # 6) malformed URLs
+    for link_id in rng.sample(link_ids, 7):
+        graph.update_node(link_id, {"url": "notaurl"})
+        builder.dirt.note("format_violation:Link.url")

@@ -1,0 +1,295 @@
+"""WWC2019 — synthetic stand-in for the Neo4j Women's World Cup 2019 graph.
+
+Table 1 target: 2,468 nodes, 14,799 edges, 5 node labels, 9 edge labels.
+
+Schema (mirroring github.com/neo4j-graph-examples/wwc2019):
+
+* nodes — ``Tournament`` (1), ``Team`` (24), ``Squad`` (24), ``Match``
+  (52), ``Person`` (2,367);
+* edges — ``IN_TOURNAMENT`` Match→Tournament, ``PLAYED_IN``
+  Person→Match, ``SCORED_GOAL`` Person→Match (minute, penalty),
+  ``IN_SQUAD`` Person→Squad, ``FOR`` Squad→Tournament, ``NAMED_SQUAD``
+  Team→Squad, ``COACH_FOR`` Person→Team, ``REPRESENTS`` Person→Team,
+  ``QUALIFIED_FOR`` Team→Tournament.
+
+Injected dirt (so confidence lands below 100% for the right reasons):
+matches missing ``stage``/``date``; duplicated match identifiers inside
+the tournament; two goals by the same player in the same minute of the
+same match; one squad without a ``FOR`` edge to the tournament.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import Dataset, DatasetBuilder
+from repro.rules.model import ConsistencyRule, RuleKind
+from repro.rules.nl import to_natural_language
+
+NODE_TARGET = 2468
+EDGE_TARGET = 14799
+
+N_TOURNAMENT = 1
+N_TEAM = 24
+N_SQUAD = 24
+N_MATCH = 52
+N_PERSON = NODE_TARGET - N_TOURNAMENT - N_TEAM - N_SQUAD - N_MATCH
+
+E_IN_TOURNAMENT = N_MATCH
+E_SCORED_GOAL = 146
+E_IN_SQUAD = 552            # 23 players per squad
+E_FOR = N_SQUAD
+E_NAMED_SQUAD = N_SQUAD
+E_COACH_FOR = N_TEAM
+E_REPRESENTS = N_PERSON
+E_QUALIFIED_FOR = N_TEAM
+E_PLAYED_IN = EDGE_TARGET - (
+    E_IN_TOURNAMENT + E_SCORED_GOAL + E_IN_SQUAD + E_FOR
+    + E_NAMED_SQUAD + E_COACH_FOR + E_REPRESENTS + E_QUALIFIED_FOR
+)
+
+STAGES = ("Group", "Round of 16", "Quarter-final", "Semi-final", "Final")
+
+COUNTRIES = (
+    "France", "USA", "Germany", "England", "Netherlands", "Sweden",
+    "Japan", "Canada", "Australia", "Brazil", "Norway", "Spain",
+    "Italy", "China", "South Korea", "Nigeria", "Chile", "Argentina",
+    "Scotland", "Thailand", "Cameroon", "New Zealand", "Jamaica",
+    "South Africa",
+)
+
+
+def _rule(kind: RuleKind, **fields: object) -> ConsistencyRule:
+    rule = ConsistencyRule(kind=kind, text="", **fields)  # type: ignore[arg-type]
+    return ConsistencyRule(
+        kind=rule.kind, text=to_natural_language(rule), label=rule.label,
+        properties=rule.properties, edge_label=rule.edge_label,
+        src_label=rule.src_label, dst_label=rule.dst_label,
+        allowed_values=rule.allowed_values,
+        pattern_regex=rule.pattern_regex,
+        scope_edge_label=rule.scope_edge_label, scope_label=rule.scope_label,
+        time_property=rule.time_property,
+    )
+
+
+def true_rules() -> list[ConsistencyRule]:
+    """Ground-truth consistency rules that (mostly) hold in the data."""
+    return [
+        _rule(RuleKind.PROPERTY_EXISTS, label="Match",
+              properties=("date", "stage")),
+        _rule(RuleKind.PROPERTY_EXISTS, label="Person", properties=("name",)),
+        _rule(RuleKind.UNIQUENESS, label="Person", properties=("id",)),
+        _rule(RuleKind.UNIQUENESS, label="Team", properties=("id",)),
+        _rule(RuleKind.UNIQUENESS, label="Match", properties=("id",)),
+        _rule(RuleKind.PRIMARY_KEY, label="Match", properties=("id",),
+              scope_label="Tournament", scope_edge_label="IN_TOURNAMENT"),
+        _rule(RuleKind.VALUE_DOMAIN, label="Match", properties=("stage",),
+              allowed_values=STAGES),
+        _rule(RuleKind.ENDPOINT, edge_label="SCORED_GOAL",
+              src_label="Person", dst_label="Match"),
+        _rule(RuleKind.ENDPOINT, edge_label="IN_TOURNAMENT",
+              src_label="Match", dst_label="Tournament"),
+        _rule(RuleKind.EDGE_PROP_EXISTS, edge_label="SCORED_GOAL",
+              properties=("minute",)),
+        _rule(RuleKind.TEMPORAL_UNIQUE, edge_label="SCORED_GOAL",
+              src_label="Person", dst_label="Match",
+              time_property="minute"),
+        _rule(RuleKind.PATTERN, label="Person", edge_label="IN_SQUAD",
+              dst_label="Squad", scope_label="Tournament",
+              scope_edge_label="FOR"),
+        _rule(RuleKind.MANDATORY_EDGE, label="Squad",
+              edge_label="NAMED_SQUAD", src_label="Team",
+              dst_label="Squad"),
+    ]
+
+
+def generate(seed: int = 2019) -> Dataset:
+    """Generate the WWC2019 dataset (deterministic for a given seed)."""
+    builder = DatasetBuilder("WWC2019", seed)
+    graph = builder.graph
+    rng = builder.rng
+
+    graph.add_node("tournament1", "Tournament", {
+        "id": "WWC2019",
+        "name": "FIFA Women's World Cup 2019",
+        "year": 2019,
+    })
+
+    team_ids = []
+    for index, country in enumerate(COUNTRIES, start=1):
+        node_id = f"team{index}"
+        graph.add_node(node_id, "Team", {
+            "id": index, "name": country,
+            "ranking": rng.randint(1, 50),
+        })
+        team_ids.append(node_id)
+
+    squad_ids = []
+    for index in range(1, N_SQUAD + 1):
+        node_id = f"squad{index}"
+        graph.add_node(node_id, "Squad", {
+            "id": index, "name": f"{COUNTRIES[index - 1]} squad",
+        })
+        squad_ids.append(node_id)
+
+    match_ids = []
+    for index in range(1, N_MATCH + 1):
+        stage = STAGES[0] if index <= 36 else (
+            STAGES[1] if index <= 44 else (
+                STAGES[2] if index <= 48 else (
+                    STAGES[3] if index <= 50 else STAGES[4]
+                )
+            )
+        )
+        node_id = f"match{index}"
+        properties = {
+            "id": index,
+            "date": f"2019-06-{(index % 28) + 1:02d}",
+            "stage": stage,
+        }
+        if builder.maybe(0.85):
+            properties["referee"] = f"Referee {rng.randint(1, 30)}"
+        graph.add_node(node_id, "Match", properties)
+        match_ids.append(node_id)
+
+    # dates of birth are incomplete in the source data; windows seeing
+    # mostly-complete samples will overgeneralise an existence rule
+    person_ids = []
+    for index in range(1, N_PERSON + 1):
+        node_id = f"person{index}"
+        properties = {
+            "id": index,
+            "name": f"{builder.word(6).title()} {builder.word(8).title()}",
+        }
+        if builder.maybe(0.82):
+            properties["dob"] = builder.iso_date(1980, 2001)
+        graph.add_node(node_id, "Person", properties)
+        person_ids.append(node_id)
+
+    # --- edges ---------------------------------------------------------
+    for match_id in match_ids:
+        graph.add_edge(
+            builder.next_edge_id("it"), "IN_TOURNAMENT",
+            match_id, "tournament1",
+        )
+    for squad_id in squad_ids:
+        graph.add_edge(
+            builder.next_edge_id("for"), "FOR", squad_id, "tournament1"
+        )
+    for team_id, squad_id in zip(team_ids, squad_ids):
+        graph.add_edge(
+            builder.next_edge_id("ns"), "NAMED_SQUAD", team_id, squad_id
+        )
+    for team_id in team_ids:
+        graph.add_edge(
+            builder.next_edge_id("qf"), "QUALIFIED_FOR",
+            team_id, "tournament1",
+        )
+
+    # squad membership: 23 players per squad, drawn from the front of the
+    # person list so the same people also coach/represent coherently
+    squad_members: dict[str, list[str]] = {}
+    cursor = 0
+    for squad_id in squad_ids:
+        members = person_ids[cursor:cursor + 23]
+        cursor += 23
+        squad_members[squad_id] = members
+        for person_id in members:
+            graph.add_edge(
+                builder.next_edge_id("sq"), "IN_SQUAD", person_id, squad_id
+            )
+
+    for index, team_id in enumerate(team_ids):
+        coach = person_ids[cursor + index]
+        graph.add_edge(
+            builder.next_edge_id("cf"), "COACH_FOR", coach, team_id
+        )
+
+    for index, person_id in enumerate(person_ids):
+        graph.add_edge(
+            builder.next_edge_id("rep"), "REPRESENTS",
+            person_id, team_ids[index % len(team_ids)],
+        )
+
+    # appearances are skewed toward the squad players at the front of the
+    # person list (star players rack up 30+ appearances) — this gives
+    # some nodes incident blocks longer than the window overlap, which is
+    # what breaks patterns at window boundaries (§4.5)
+    played_pairs: set[tuple[str, str]] = set()
+    while len(played_pairs) < E_PLAYED_IN:
+        person = person_ids[int(len(person_ids) * rng.random() ** 2.5)]
+        pair = (person, rng.choice(match_ids))
+        if pair in played_pairs:
+            continue
+        played_pairs.add(pair)
+        graph.add_edge(
+            builder.next_edge_id("pl"), "PLAYED_IN", pair[0], pair[1],
+            {"minutes": rng.randint(1, 95)},
+        )
+
+    # ordered list + membership set: iteration order must not depend on
+    # hash randomisation or generation stops being reproducible
+    goal_triples: list[tuple[str, str, int]] = []
+    seen_goals: set[tuple[str, str, int]] = set()
+    scorers = person_ids[:552]  # goals come from squad players
+    while len(goal_triples) < E_SCORED_GOAL:
+        triple = (
+            rng.choice(scorers), rng.choice(match_ids), rng.randint(1, 90)
+        )
+        if triple in seen_goals:
+            continue
+        seen_goals.add(triple)
+        goal_triples.append(triple)
+        graph.add_edge(
+            builder.next_edge_id("gl"), "SCORED_GOAL", triple[0], triple[1],
+            {"minute": triple[2], "penalty": rng.random() < 0.1},
+        )
+
+    _inject_dirt(builder, match_ids, squad_ids, goal_triples)
+    builder.check_table1(NODE_TARGET, EDGE_TARGET, 5, 9)
+    return Dataset(graph=graph, true_rules=true_rules(), dirt=builder.dirt)
+
+
+def _inject_dirt(
+    builder: DatasetBuilder,
+    match_ids: list[str],
+    squad_ids: list[str],
+    goal_triples: list[tuple[str, str, int]],
+) -> None:
+    graph = builder.graph
+    rng = builder.rng
+
+    # 1) missing mandatory properties on Match
+    for match_id in rng.sample(match_ids, 3):
+        graph.remove_node_property(match_id, "stage")
+        builder.dirt.note("missing_property:Match.stage")
+    graph.remove_node_property(rng.choice(match_ids), "date")
+    builder.dirt.note("missing_property:Match.date")
+
+    # 2) duplicated Match identifier within the tournament
+    victim, donor = rng.sample(match_ids, 2)
+    graph.update_node(victim, {"id": graph.node(donor).properties["id"]})
+    builder.dirt.note("duplicate_key:Match.id")
+
+    # 3) two goals by the same player in the same minute of one match
+    for src, dst, minute in rng.sample(goal_triples, 2):
+        graph.add_edge(
+            builder.next_edge_id("gl"), "SCORED_GOAL", src, dst,
+            {"minute": minute, "penalty": False},
+        )
+        # balance the edge count: drop one PLAYED_IN appearance
+        extra = next(graph.edges(label="PLAYED_IN"))
+        graph.remove_edge(extra.id)
+        builder.dirt.note("temporal_duplicate:SCORED_GOAL.minute")
+
+    # 4) one squad loses its FOR edge; another gets a parallel one so the
+    #    edge-label census stays on target
+    orphan = squad_ids[-1]
+    for edge in list(graph.out_edges(orphan, label="FOR")):
+        graph.remove_edge(edge.id)
+    graph.add_edge(
+        builder.next_edge_id("for"), "FOR", squad_ids[0], "tournament1"
+    )
+    builder.dirt.note("broken_pattern:Squad-FOR-Tournament")
+
+    # 5) a stage value outside the domain
+    graph.update_node(rng.choice(match_ids), {"stage": "Knockout"})
+    builder.dirt.note("domain_violation:Match.stage")

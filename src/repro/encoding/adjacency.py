@@ -1,0 +1,44 @@
+"""Adjacency encoder — a compact alternative graph-to-text encoding.
+
+Kept as an ablation against the paper's choice of incident encoding
+(Fatemi et al. compare several encoders; the paper adopts *incident* for
+its demonstrated effectiveness).  The adjacency encoder lists nodes first,
+then edges as bare (src, label, dst) triples without repeating endpoint
+labels — cheaper in tokens, but it forces the reader to join endpoints
+with node statements that may live in a different window.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.incident import Statement, format_properties
+from repro.graph.model import Edge, Node
+from repro.graph.store import PropertyGraph
+
+
+class AdjacencyEncoder:
+    """Encodes a property graph as node statements plus bare edge triples."""
+
+    name = "adjacency"
+
+    def encode_node(self, node: Node) -> Statement:
+        labels = ":".join(node.sorted_labels()) or "None"
+        text = (
+            f"Node {node.id} with label {labels} has properties "
+            f"{format_properties(node.properties)}."
+        )
+        return Statement(kind="node", text=text, subject_id=node.id)
+
+    def encode_edge(self, edge: Edge) -> Statement:
+        text = (
+            f"Edge {edge.id}: {edge.src} -{edge.label}-> {edge.dst} "
+            f"with properties {format_properties(edge.properties)}."
+        )
+        return Statement(kind="edge", text=text, subject_id=edge.id)
+
+    def encode(self, graph: PropertyGraph) -> list[Statement]:
+        statements = [self.encode_node(node) for node in graph.nodes()]
+        statements.extend(self.encode_edge(edge) for edge in graph.edges())
+        return statements
+
+    def encode_text(self, graph: PropertyGraph) -> str:
+        return "\n".join(s.text for s in self.encode(graph))

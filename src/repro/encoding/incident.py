@@ -1,0 +1,88 @@
+"""The *incident encoder*: property graph → text statements.
+
+Following Fatemi et al. ("Talk like a Graph", ICLR 2024), the incident
+encoding describes the graph node by node: each node statement lists the
+node's labels and properties, followed by one statement per outgoing edge
+naming the neighbour, its labels, the edge label and the edge properties.
+
+The encoder emits a list of *statements*.  Joining them (newline-separated)
+gives the prompt text; keeping them separate lets the window chunker and
+the simulated LLM account for statements broken at window boundaries —
+the fragmentation phenomenon §3.1.1 discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.model import Edge, Node
+from repro.graph.store import PropertyGraph
+
+
+def format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "True" if value else "False"
+    if isinstance(value, str):
+        return f"'{value}'"
+    if isinstance(value, list):
+        return "[" + ", ".join(format_value(item) for item in value) + "]"
+    return str(value)
+
+
+def format_properties(properties: dict) -> str:
+    if not properties:
+        return "()"
+    body = ", ".join(
+        f"{key}: {format_value(value)}"
+        for key, value in sorted(properties.items())
+    )
+    return f"({body})"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One encoded statement with its kind ('node' or 'edge')."""
+
+    kind: str
+    text: str
+    subject_id: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+class IncidentEncoder:
+    """Encodes a property graph into incident-style text statements."""
+
+    name = "incident"
+
+    def encode_node(self, node: Node) -> Statement:
+        labels = ":".join(node.sorted_labels()) or "None"
+        text = (
+            f"Node {node.id} with label {labels} has properties "
+            f"{format_properties(node.properties)}."
+        )
+        return Statement(kind="node", text=text, subject_id=node.id)
+
+    def encode_edge(self, graph: PropertyGraph, edge: Edge) -> Statement:
+        src_labels = ":".join(graph.node(edge.src).sorted_labels()) or "None"
+        dst_labels = ":".join(graph.node(edge.dst).sorted_labels()) or "None"
+        text = (
+            f"Node {edge.src} ({src_labels}) connects to node {edge.dst} "
+            f"({dst_labels}) via edge {edge.id} with label {edge.label} "
+            f"and properties {format_properties(edge.properties)}."
+        )
+        return Statement(kind="edge", text=text, subject_id=edge.id)
+
+    def encode(self, graph: PropertyGraph) -> list[Statement]:
+        """Node statement, then its outgoing edge statements, per node."""
+        statements: list[Statement] = []
+        for node in graph.nodes():
+            statements.append(self.encode_node(node))
+            for edge in graph.out_edges(node.id):
+                statements.append(self.encode_edge(graph, edge))
+        return statements
+
+    def encode_text(self, graph: PropertyGraph) -> str:
+        """The full incident encoding as one newline-joined string."""
+        return "\n".join(s.text for s in self.encode(graph))

@@ -1,0 +1,23 @@
+"""Regeneration harness for every table and figure in the paper."""
+
+from repro.experiments import (
+    extensions,
+    figures,
+    metric_tables,
+    table1,
+    table5,
+    table6,
+)
+from repro.experiments.report import Table, fmt_float, fmt_int
+
+__all__ = [
+    "Table",
+    "extensions",
+    "figures",
+    "fmt_float",
+    "fmt_int",
+    "metric_tables",
+    "table1",
+    "table5",
+    "table6",
+]

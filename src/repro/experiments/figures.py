@@ -1,0 +1,59 @@
+"""Figures 1-3 are architecture diagrams; here they are realised as a
+traceable pipeline walkthrough, plus the §4.5 fragmentation counts."""
+
+from __future__ import annotations
+
+from repro.datasets.registry import DATASET_NAMES
+from repro.datasets.registry import DISPLAY_NAMES as DATASET_DISPLAY
+from repro.experiments.report import Table
+from repro.mining.runner import ExperimentRunner
+
+
+def pipeline_trace(runner: ExperimentRunner, dataset: str = "wwc2019") -> str:
+    """A textual rendering of Figure 1/2 with live numbers."""
+    context = runner.context(dataset)
+    swa = runner.pipeline(dataset, "sliding_window")
+    windows = swa.window_set
+    rag = runner.pipeline(dataset, "rag")
+    rag._ensure_index()
+    lines = [
+        f"Pipeline trace for {context.name} (Figures 1-3 realised):",
+        "",
+        "Step 1 — encode the property graph (incident encoder):",
+        f"  {context.graph.node_count()} nodes + "
+        f"{context.graph.edge_count()} edges -> "
+        f"{len(context.statements)} text statements",
+        "",
+        "Step 1a — Sliding Window Attention (Figure 2a):",
+        f"  window size {windows.window_size} tokens, overlap "
+        f"{windows.overlap} -> {windows.window_count} windows; "
+        f"{windows.broken_pattern_count} incident blocks broken at "
+        "boundaries",
+        "",
+        "Step 1b — RAG (Figure 2b):",
+        f"  {rag.retriever.store.__len__()} chunks embedded; top-"
+        f"{rag.retriever.top_k} retrieved per query",
+        "",
+        "Step 2 — prompt the LLM (zero-shot / few-shot, Figure 3),",
+        "Step 3 — parse natural-language rules, combine across windows,",
+        "Step 4 — second prompt translates each rule to Cypher,",
+        "Step 5 — §4.4 correction, then support/coverage/confidence.",
+    ]
+    return "\n".join(lines)
+
+
+def broken_patterns(runner: ExperimentRunner) -> Table:
+    """§4.5: number of patterns broken at window boundaries."""
+    table = Table(
+        title="Section 4.5: patterns broken at window boundaries",
+        headers=["Dataset", "Broken patterns", "Windows"],
+    )
+    for dataset in DATASET_NAMES:
+        pipeline = runner.pipeline(dataset, "sliding_window")
+        windows = pipeline.window_set
+        table.add_row(
+            DATASET_DISPLAY[dataset],
+            windows.broken_pattern_count,
+            windows.window_count,
+        )
+    return table

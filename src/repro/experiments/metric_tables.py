@@ -1,0 +1,50 @@
+"""Tables 2-4 — support / coverage / confidence per dataset.
+
+Each table has the paper's layout: a Zero-shot block and a Few-shot
+block, rows LLaMA-3 / Mixtral, and for each encoding method (Sliding
+Window Attention, RAG) the columns #rules, Supp, Cov%, Conf%.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import DISPLAY_NAMES as DATASET_DISPLAY
+from repro.experiments.report import Table, fmt_float, fmt_int
+from repro.llm.profiles import DISPLAY_NAMES as MODEL_DISPLAY
+from repro.llm.profiles import MODEL_NAMES
+from repro.mining.pipeline import PROMPT_MODES
+from repro.mining.runner import ExperimentRunner
+
+_TABLE_NUMBER = {"wwc2019": 2, "cybersecurity": 3, "twitter": 4}
+
+
+def build(runner: ExperimentRunner, dataset: str) -> Table:
+    """Build the Tables 2-4 grid for one dataset."""
+    number = _TABLE_NUMBER.get(dataset.lower(), "X")
+    table = Table(
+        title=(
+            f"Table {number}: Support, coverage and confidence for the "
+            f"{DATASET_DISPLAY.get(dataset.lower(), dataset)} dataset"
+        ),
+        headers=[
+            "Prompt", "Model",
+            "SWA #rules", "SWA Supp", "SWA Cov%", "SWA Conf%",
+            "RAG #rules", "RAG Supp", "RAG Cov%", "RAG Conf%",
+        ],
+    )
+    for prompt_mode in PROMPT_MODES:
+        prompt_label = (
+            "Zero-shot" if prompt_mode == "zero_shot" else "Few-shot"
+        )
+        for model in MODEL_NAMES:
+            cells: list[str] = [prompt_label, MODEL_DISPLAY[model]]
+            for method in ("sliding_window", "rag"):
+                run = runner.run(dataset, model, method, prompt_mode)
+                metrics = run.aggregate_metrics()
+                cells.extend([
+                    fmt_int(metrics.rule_count),
+                    fmt_int(metrics.avg_support),
+                    fmt_float(metrics.avg_coverage),
+                    fmt_float(metrics.avg_confidence),
+                ])
+            table.add_row(*cells)
+    return table

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A titled grid of cells rendered as aligned ASCII."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: list[str]) -> str:
+            return " | ".join(
+                cell.ljust(widths[index]) for index, cell in enumerate(cells)
+            ).rstrip()
+
+        separator = "-+-".join("-" * width for width in widths)
+        parts = [self.title, line(self.headers), separator]
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+
+def fmt_float(value: float, digits: int = 2) -> str:
+    """Format like the paper: trim trailing zeros, keep at most
+    ``digits`` decimals."""
+    text = f"{value:.{digits}f}"
+    text = text.rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+def fmt_int(value: float) -> str:
+    return str(int(round(value)))

@@ -1,0 +1,40 @@
+"""Table 1 — dataset sizes."""
+
+from __future__ import annotations
+
+from repro.datasets.registry import DATASET_NAMES, DISPLAY_NAMES, load
+from repro.experiments.report import Table
+from repro.graph.statistics import compute_statistics
+
+#: the published Table 1, for verification
+PAPER_TABLE1 = {
+    "wwc2019": (2468, 14799, 5, 9),
+    "cybersecurity": (953, 4838, 7, 16),
+    "twitter": (43325, 56493, 6, 8),
+}
+
+
+def build() -> Table:
+    """Compute Table 1 from the generated datasets."""
+    table = Table(
+        title="Table 1: Size of the datasets",
+        headers=["Dataset", "Nodes", "Edges", "Node Labels", "Edge Labels"],
+    )
+    for name in DATASET_NAMES:
+        stats = compute_statistics(load(name).graph)
+        table.add_row(
+            DISPLAY_NAMES[name], stats.nodes, stats.edges,
+            stats.node_labels, stats.edge_labels,
+        )
+    return table
+
+
+def verify() -> bool:
+    """True when every generated dataset matches the published row."""
+    for name in DATASET_NAMES:
+        stats = compute_statistics(load(name).graph)
+        actual = (stats.nodes, stats.edges, stats.node_labels,
+                  stats.edge_labels)
+        if actual != PAPER_TABLE1[name]:
+            return False
+    return True

@@ -1,0 +1,31 @@
+"""Table 5 — rule-mining times (simulated seconds)."""
+
+from __future__ import annotations
+
+from repro.datasets.registry import DATASET_NAMES
+from repro.datasets.registry import DISPLAY_NAMES as DATASET_DISPLAY
+from repro.experiments.report import Table, fmt_float
+from repro.llm.profiles import DISPLAY_NAMES as MODEL_DISPLAY
+from repro.llm.profiles import MODEL_NAMES
+from repro.mining.runner import ExperimentRunner
+
+
+def build(runner: ExperimentRunner) -> Table:
+    """Build Table 5 across all datasets and configurations."""
+    table = Table(
+        title="Table 5: LLMs rule mining times (seconds, simulated clock)",
+        headers=[
+            "Dataset", "Model",
+            "SWA Zero-shot", "SWA Few-shot",
+            "RAG Zero-shot", "RAG Few-shot",
+        ],
+    )
+    for dataset in DATASET_NAMES:
+        for model in MODEL_NAMES:
+            cells = [DATASET_DISPLAY[dataset], MODEL_DISPLAY[model]]
+            for method in ("sliding_window", "rag"):
+                for prompt_mode in ("zero_shot", "few_shot"):
+                    run = runner.run(dataset, model, method, prompt_mode)
+                    cells.append(fmt_float(run.mining_seconds, 2))
+            table.add_row(*cells)
+    return table

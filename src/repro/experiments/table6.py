@@ -1,0 +1,54 @@
+"""Table 6 — Cypher generation correctness, plus the §4.4 error census."""
+
+from __future__ import annotations
+
+from repro.datasets.registry import DATASET_NAMES
+from repro.datasets.registry import DISPLAY_NAMES as DATASET_DISPLAY
+from repro.experiments.report import Table
+from repro.llm.profiles import DISPLAY_NAMES as MODEL_DISPLAY
+from repro.llm.profiles import MODEL_NAMES
+from repro.mining.runner import ExperimentRunner
+
+
+def build(runner: ExperimentRunner) -> Table:
+    """Build Table 6: correctly generated queries per configuration."""
+    table = Table(
+        title="Table 6: Number of correctly generated Cypher queries",
+        headers=[
+            "Dataset", "Model",
+            "SWA Zero-shot", "SWA Few-shot",
+            "RAG Zero-shot", "RAG Few-shot",
+        ],
+    )
+    for dataset in DATASET_NAMES:
+        for model in MODEL_NAMES:
+            cells = [DATASET_DISPLAY[dataset], MODEL_DISPLAY[model]]
+            for method in ("sliding_window", "rag"):
+                for prompt_mode in ("zero_shot", "few_shot"):
+                    run = runner.run(dataset, model, method, prompt_mode)
+                    cells.append(
+                        f"{run.correct_queries}/{run.generated_queries}"
+                    )
+            table.add_row(*cells)
+    return table
+
+
+def error_census(runner: ExperimentRunner) -> Table:
+    """The §4.4 breakdown: error category counts across the whole grid."""
+    table = Table(
+        title="Section 4.4: Cypher error categories across the study",
+        headers=["Category", "Count"],
+    )
+    totals: dict[str, int] = {}
+    for dataset in DATASET_NAMES:
+        for run in runner.run_dataset(dataset):
+            for category, count in run.error_census().items():
+                totals[category] = totals.get(category, 0) + count
+    display = {
+        "direction": "Wrong relationship direction",
+        "hallucinated_property": "Non-existing properties (hallucination)",
+        "syntax": "Syntax errors (e.g. '=' for '=~')",
+    }
+    for key in ("direction", "hallucinated_property", "syntax"):
+        table.add_row(display[key], totals.get(key, 0))
+    return table

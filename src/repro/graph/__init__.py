@@ -1,0 +1,49 @@
+"""Property-graph substrate: data model, indexed store, schema, IO, stats."""
+
+from repro.graph.errors import (
+    DanglingEdgeError,
+    DuplicateElementError,
+    ElementNotFoundError,
+    GraphError,
+    InvalidPropertyError,
+)
+from repro.graph.io import (
+    build_graph,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.graph.model import Edge, Node
+from repro.graph.schema import (
+    EndpointSignature,
+    GraphSchema,
+    LabelProfile,
+    PropertyProfile,
+    infer_schema,
+)
+from repro.graph.statistics import GraphStatistics, compute_statistics
+from repro.graph.store import PropertyGraph
+
+__all__ = [
+    "DanglingEdgeError",
+    "DuplicateElementError",
+    "Edge",
+    "ElementNotFoundError",
+    "EndpointSignature",
+    "GraphError",
+    "GraphSchema",
+    "GraphStatistics",
+    "InvalidPropertyError",
+    "LabelProfile",
+    "Node",
+    "PropertyGraph",
+    "PropertyProfile",
+    "build_graph",
+    "compute_statistics",
+    "graph_from_dict",
+    "graph_to_dict",
+    "infer_schema",
+    "load_graph",
+    "save_graph",
+]

@@ -1,0 +1,47 @@
+"""Exceptions raised by the property-graph substrate."""
+
+from __future__ import annotations
+
+
+class GraphError(Exception):
+    """Base class for all property-graph errors."""
+
+
+class DuplicateElementError(GraphError):
+    """An element with the same id already exists in the graph."""
+
+    def __init__(self, kind: str, element_id: str) -> None:
+        super().__init__(f"{kind} with id {element_id!r} already exists")
+        self.kind = kind
+        self.element_id = element_id
+
+
+class ElementNotFoundError(GraphError):
+    """A node or edge id was looked up but does not exist."""
+
+    def __init__(self, kind: str, element_id: str) -> None:
+        super().__init__(f"{kind} with id {element_id!r} does not exist")
+        self.kind = kind
+        self.element_id = element_id
+
+
+class DanglingEdgeError(GraphError):
+    """An edge refers to a node id that is not present in the graph."""
+
+    def __init__(self, edge_id: str, node_id: str) -> None:
+        super().__init__(
+            f"edge {edge_id!r} refers to missing node {node_id!r}"
+        )
+        self.edge_id = edge_id
+        self.node_id = node_id
+
+
+class InvalidPropertyError(GraphError):
+    """A property value is not one of the supported primitive types."""
+
+    def __init__(self, key: str, value: object) -> None:
+        super().__init__(
+            f"property {key!r} has unsupported value type {type(value).__name__}"
+        )
+        self.key = key
+        self.value = value

@@ -1,0 +1,98 @@
+"""Serialization for property graphs.
+
+Two formats:
+
+* **JSON** — a faithful round-trip format (nodes, edges, labels, properties),
+  the reproduction's equivalent of a Neo4j dump.
+* **edge list / node list dicts** — convenient programmatic bulk loading used
+  by the dataset generators.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.graph.store import PropertyGraph
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
+    """Render a graph as a JSON-serialisable dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": [
+            {
+                "id": node.id,
+                "labels": node.sorted_labels(),
+                "properties": node.properties,
+            }
+            for node in graph.nodes()
+        ],
+        "edges": [
+            {
+                "id": edge.id,
+                "label": edge.label,
+                "src": edge.src,
+                "dst": edge.dst,
+                "properties": edge.properties,
+            }
+            for edge in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(payload: Mapping[str, Any]) -> PropertyGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    version = payload.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version: {version}")
+    graph = PropertyGraph(name=payload.get("name", "graph"))
+    for node in payload.get("nodes", ()):
+        graph.add_node(node["id"], node.get("labels", ()), node.get("properties"))
+    for edge in payload.get("edges", ()):
+        graph.add_edge(
+            edge["id"], edge["label"], edge["src"], edge["dst"],
+            edge.get("properties"),
+        )
+    return graph
+
+
+def save_graph(graph: PropertyGraph, path: str | Path) -> None:
+    """Write a graph to a JSON file."""
+    payload = graph_to_dict(graph)
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=False))
+
+
+def load_graph(path: str | Path) -> PropertyGraph:
+    """Read a graph from a JSON file produced by :func:`save_graph`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return graph_from_dict(payload)
+
+
+def build_graph(
+    name: str,
+    nodes: Iterable[Mapping[str, Any]],
+    edges: Iterable[Mapping[str, Any]],
+) -> PropertyGraph:
+    """Bulk-build a graph from node/edge record dicts.
+
+    Node records need ``id`` and ``labels``; edge records need ``id``,
+    ``label``, ``src`` and ``dst``.  Both accept an optional ``properties``
+    mapping.
+    """
+    graph = PropertyGraph(name=name)
+    for record in nodes:
+        graph.add_node(
+            record["id"], record["labels"], record.get("properties")
+        )
+    for record in edges:
+        graph.add_edge(
+            record["id"], record["label"], record["src"], record["dst"],
+            record.get("properties"),
+        )
+    return graph

@@ -1,0 +1,149 @@
+"""Core property-graph data model.
+
+A property graph (Bonifati et al., *Querying Graphs*, 2018) is a directed
+multigraph in which nodes carry a set of *labels* and both nodes and edges
+carry *properties* — key/value pairs over a small set of primitive types.
+This module defines the immutable element types; :mod:`repro.graph.store`
+provides the indexed container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.graph.errors import InvalidPropertyError
+
+#: Primitive property value types supported by the graph (mirrors Neo4j's
+#: storable types minus spatial values).  Dates are stored as ISO-8601
+#: strings; the Cypher layer compares them lexicographically, which is
+#: order-preserving for ISO-8601.
+PRIMITIVES = (str, int, float, bool)
+
+PropertyValue = Any  # primitive or homogeneous list of primitives
+Properties = Mapping[str, PropertyValue]
+
+
+def validate_property_value(key: str, value: PropertyValue) -> PropertyValue:
+    """Validate a property value, returning it unchanged if acceptable.
+
+    Acceptable values are primitives (str, int, float, bool), ``None`` and
+    flat lists of primitives.  Anything else raises
+    :class:`~repro.graph.errors.InvalidPropertyError`.
+    """
+    if value is None or isinstance(value, PRIMITIVES):
+        return value
+    if isinstance(value, (list, tuple)):
+        items = list(value)
+        for item in items:
+            if not isinstance(item, PRIMITIVES):
+                raise InvalidPropertyError(key, value)
+        return items
+    raise InvalidPropertyError(key, value)
+
+
+def _clean_properties(properties: Properties | None) -> dict[str, PropertyValue]:
+    if not properties:
+        return {}
+    return {
+        key: validate_property_value(key, value)
+        for key, value in properties.items()
+    }
+
+
+@dataclass(frozen=True)
+class Node:
+    """A graph node: an id, a set of labels and a property map."""
+
+    id: str
+    labels: frozenset[str]
+    properties: dict[str, PropertyValue] = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        node_id: str,
+        labels: Iterable[str] | str,
+        properties: Properties | None = None,
+    ) -> "Node":
+        """Build a node, normalising labels and validating properties."""
+        if isinstance(labels, str):
+            labels = [labels]
+        return cls(
+            id=str(node_id),
+            labels=frozenset(labels),
+            properties=_clean_properties(properties),
+        )
+
+    def has_label(self, label: str) -> bool:
+        return label in self.labels
+
+    def get(self, key: str, default: PropertyValue = None) -> PropertyValue:
+        return self.properties.get(key, default)
+
+    def with_properties(self, updates: Properties) -> "Node":
+        """Return a copy of this node with ``updates`` merged in."""
+        merged = dict(self.properties)
+        merged.update(_clean_properties(updates))
+        return Node(id=self.id, labels=self.labels, properties=merged)
+
+    def without_property(self, key: str) -> "Node":
+        """Return a copy of this node with ``key`` removed (if present)."""
+        remaining = {k: v for k, v in self.properties.items() if k != key}
+        return Node(id=self.id, labels=self.labels, properties=remaining)
+
+    def sorted_labels(self) -> list[str]:
+        return sorted(self.labels)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed, typed edge with properties.
+
+    ``label`` is the relationship type (Neo4j allows exactly one per
+    relationship, and all Cypher queries in the study use single types).
+    """
+
+    id: str
+    label: str
+    src: str
+    dst: str
+    properties: dict[str, PropertyValue] = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        edge_id: str,
+        label: str,
+        src: str,
+        dst: str,
+        properties: Properties | None = None,
+    ) -> "Edge":
+        """Build an edge, validating its properties."""
+        return cls(
+            id=str(edge_id),
+            label=str(label),
+            src=str(src),
+            dst=str(dst),
+            properties=_clean_properties(properties),
+        )
+
+    def get(self, key: str, default: PropertyValue = None) -> PropertyValue:
+        return self.properties.get(key, default)
+
+    def with_properties(self, updates: Properties) -> "Edge":
+        """Return a copy of this edge with ``updates`` merged in."""
+        merged = dict(self.properties)
+        merged.update(_clean_properties(updates))
+        return Edge(
+            id=self.id, label=self.label, src=self.src, dst=self.dst,
+            properties=merged,
+        )
+
+    def other_end(self, node_id: str) -> str:
+        """Return the endpoint opposite ``node_id``."""
+        if node_id == self.src:
+            return self.dst
+        if node_id == self.dst:
+            return self.src
+        raise ValueError(f"node {node_id!r} is not an endpoint of edge {self.id!r}")

@@ -1,0 +1,211 @@
+"""Schema inference over property graphs.
+
+The prompts in the study include "information about the property graph
+including nodes, edge labels, and properties" (§3.2).  This module derives
+that information from the data: per-label property statistics, property type
+profiles, and the (source label, edge label, target label) triples actually
+present — the graph's *endpoint signature*.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.graph.store import PropertyGraph
+
+
+def _type_name(value: object) -> str:
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, list):
+        return "list"
+    return type(value).__name__
+
+
+@dataclass
+class PropertyProfile:
+    """Observed statistics for one property key under one label."""
+
+    key: str
+    present: int = 0
+    types: Counter = field(default_factory=Counter)
+    distinct_sample: set = field(default_factory=set)
+
+    #: cap on the distinct-value sample kept for uniqueness estimation
+    SAMPLE_CAP = 100_000
+
+    def observe(self, value: object) -> None:
+        self.present += 1
+        self.types[_type_name(value)] += 1
+        if len(self.distinct_sample) < self.SAMPLE_CAP:
+            try:
+                self.distinct_sample.add(value)
+            except TypeError:
+                self.distinct_sample.add(repr(value))
+
+    @property
+    def dominant_type(self) -> str:
+        if not self.types:
+            return "unknown"
+        return self.types.most_common(1)[0][0]
+
+    def completeness(self, total: int) -> float:
+        """Fraction of elements under the label that carry this key."""
+        return self.present / total if total else 0.0
+
+    def uniqueness(self) -> float:
+        """Distinct values / occurrences (1.0 means candidate key)."""
+        return len(self.distinct_sample) / self.present if self.present else 0.0
+
+
+@dataclass
+class LabelProfile:
+    """Schema profile for a node or edge label."""
+
+    label: str
+    count: int = 0
+    properties: dict[str, PropertyProfile] = field(default_factory=dict)
+
+    def observe(self, properties: dict) -> None:
+        self.count += 1
+        for key, value in properties.items():
+            profile = self.properties.get(key)
+            if profile is None:
+                profile = self.properties[key] = PropertyProfile(key)
+            profile.observe(value)
+
+    def property_keys(self) -> list[str]:
+        return sorted(self.properties)
+
+    def mandatory_keys(self, threshold: float = 1.0) -> list[str]:
+        """Keys present on at least ``threshold`` of elements."""
+        return sorted(
+            key
+            for key, profile in self.properties.items()
+            if profile.completeness(self.count) >= threshold
+        )
+
+    def candidate_keys(self, min_uniqueness: float = 1.0) -> list[str]:
+        """Keys that are complete and (near-)unique across the label."""
+        return sorted(
+            key
+            for key, profile in self.properties.items()
+            if profile.completeness(self.count) >= 1.0
+            and profile.uniqueness() >= min_uniqueness
+        )
+
+
+@dataclass(frozen=True)
+class EndpointSignature:
+    """One (source label, edge label, target label) triple with its count."""
+
+    src_label: str
+    edge_label: str
+    dst_label: str
+    count: int
+
+
+@dataclass
+class GraphSchema:
+    """Inferred schema of a property graph."""
+
+    node_profiles: dict[str, LabelProfile]
+    edge_profiles: dict[str, LabelProfile]
+    endpoints: list[EndpointSignature]
+
+    def node_labels(self) -> list[str]:
+        return sorted(self.node_profiles)
+
+    def edge_labels(self) -> list[str]:
+        return sorted(self.edge_profiles)
+
+    def node_property_keys(self, label: str) -> list[str]:
+        profile = self.node_profiles.get(label)
+        return profile.property_keys() if profile else []
+
+    def edge_property_keys(self, label: str) -> list[str]:
+        profile = self.edge_profiles.get(label)
+        return profile.property_keys() if profile else []
+
+    def has_node_property(self, label: str, key: str) -> bool:
+        profile = self.node_profiles.get(label)
+        return bool(profile and key in profile.properties)
+
+    def has_edge_property(self, label: str, key: str) -> bool:
+        profile = self.edge_profiles.get(label)
+        return bool(profile and key in profile.properties)
+
+    def endpoint_signatures(
+        self, edge_label: str | None = None
+    ) -> list[EndpointSignature]:
+        if edge_label is None:
+            return list(self.endpoints)
+        return [sig for sig in self.endpoints if sig.edge_label == edge_label]
+
+    def edge_connects(
+        self, src_label: str, edge_label: str, dst_label: str
+    ) -> bool:
+        """True if the triple occurs in the data (in this direction)."""
+        return any(
+            sig.src_label == src_label and sig.dst_label == dst_label
+            for sig in self.endpoint_signatures(edge_label)
+        )
+
+    def describe(self) -> str:
+        """Render the schema as the plain-text summary used in prompts."""
+        lines = ["Node labels and properties:"]
+        for label in self.node_labels():
+            keys = ", ".join(self.node_property_keys(label)) or "(none)"
+            lines.append(f"  {label}: {keys}")
+        lines.append("Edge labels and properties:")
+        for label in self.edge_labels():
+            keys = ", ".join(self.edge_property_keys(label)) or "(none)"
+            lines.append(f"  {label}: {keys}")
+        lines.append("Connections (source)-[edge]->(target):")
+        for sig in self.endpoints:
+            lines.append(
+                f"  ({sig.src_label})-[:{sig.edge_label}]->({sig.dst_label})"
+                f" x{sig.count}"
+            )
+        return "\n".join(lines)
+
+
+def infer_schema(graph: PropertyGraph) -> GraphSchema:
+    """Scan the graph once and build its :class:`GraphSchema`."""
+    node_profiles: dict[str, LabelProfile] = {}
+    for node in graph.nodes():
+        for label in node.sorted_labels():
+            profile = node_profiles.get(label)
+            if profile is None:
+                profile = node_profiles[label] = LabelProfile(label)
+            profile.observe(node.properties)
+
+    edge_profiles: dict[str, LabelProfile] = {}
+    endpoint_counts: dict[tuple[str, str, str], int] = defaultdict(int)
+    for edge in graph.edges():
+        profile = edge_profiles.get(edge.label)
+        if profile is None:
+            profile = edge_profiles[edge.label] = LabelProfile(edge.label)
+        profile.observe(edge.properties)
+        src_labels = graph.node(edge.src).sorted_labels() or [""]
+        dst_labels = graph.node(edge.dst).sorted_labels() or [""]
+        for src_label in src_labels:
+            for dst_label in dst_labels:
+                endpoint_counts[(src_label, edge.label, dst_label)] += 1
+
+    endpoints = [
+        EndpointSignature(src, label, dst, count)
+        for (src, label, dst), count in sorted(endpoint_counts.items())
+    ]
+    return GraphSchema(
+        node_profiles=node_profiles,
+        edge_profiles=edge_profiles,
+        endpoints=endpoints,
+    )

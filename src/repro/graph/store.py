@@ -1,0 +1,218 @@
+"""Indexed in-memory property-graph store.
+
+This is the reproduction's substitute for Neo4j: a directed multigraph with
+secondary indexes on node labels, edge labels and adjacency, sufficient to
+back the Cypher interpreter in :mod:`repro.cypher` with index-backed scans.
+
+Mutation is node/edge-at-a-time (the study never needs transactions); all
+read paths return stable, deterministic orderings so that experiments are
+bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.graph.errors import (
+    DanglingEdgeError,
+    DuplicateElementError,
+    ElementNotFoundError,
+)
+from repro.graph.model import Edge, Node, Properties
+
+
+class PropertyGraph:
+    """A directed property multigraph with label and adjacency indexes."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._nodes: dict[str, Node] = {}
+        self._edges: dict[str, Edge] = {}
+        # label -> ordered set of node ids (dict used as ordered set)
+        self._nodes_by_label: dict[str, dict[str, None]] = defaultdict(dict)
+        self._edges_by_label: dict[str, dict[str, None]] = defaultdict(dict)
+        # node id -> ordered set of incident edge ids
+        self._out_edges: dict[str, dict[str, None]] = defaultdict(dict)
+        self._in_edges: dict[str, dict[str, None]] = defaultdict(dict)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node_id: str,
+        labels: Iterable[str] | str,
+        properties: Properties | None = None,
+    ) -> Node:
+        """Create and index a node; raises if the id already exists."""
+        node = Node.create(node_id, labels, properties)
+        if node.id in self._nodes:
+            raise DuplicateElementError("node", node.id)
+        self._nodes[node.id] = node
+        for label in node.labels:
+            self._nodes_by_label[label][node.id] = None
+        return node
+
+    def add_edge(
+        self,
+        edge_id: str,
+        label: str,
+        src: str,
+        dst: str,
+        properties: Properties | None = None,
+    ) -> Edge:
+        """Create and index an edge; both endpoints must already exist."""
+        edge = Edge.create(edge_id, label, src, dst, properties)
+        if edge.id in self._edges:
+            raise DuplicateElementError("edge", edge.id)
+        for endpoint in (edge.src, edge.dst):
+            if endpoint not in self._nodes:
+                raise DanglingEdgeError(edge.id, endpoint)
+        self._edges[edge.id] = edge
+        self._edges_by_label[edge.label][edge.id] = None
+        self._out_edges[edge.src][edge.id] = None
+        self._in_edges[edge.dst][edge.id] = None
+        return edge
+
+    def update_node(self, node_id: str, properties: Properties) -> Node:
+        """Merge ``properties`` into an existing node."""
+        node = self.node(node_id)
+        updated = node.with_properties(properties)
+        self._nodes[node_id] = updated
+        return updated
+
+    def remove_node_property(self, node_id: str, key: str) -> Node:
+        """Drop a property from an existing node (no-op if absent)."""
+        node = self.node(node_id)
+        updated = node.without_property(key)
+        self._nodes[node_id] = updated
+        return updated
+
+    def update_edge(self, edge_id: str, properties: Properties) -> Edge:
+        """Merge ``properties`` into an existing edge."""
+        edge = self.edge(edge_id)
+        updated = edge.with_properties(properties)
+        self._edges[edge_id] = updated
+        return updated
+
+    def remove_edge(self, edge_id: str) -> None:
+        """Delete an edge and de-index it."""
+        edge = self.edge(edge_id)
+        del self._edges[edge_id]
+        self._edges_by_label[edge.label].pop(edge_id, None)
+        self._out_edges[edge.src].pop(edge_id, None)
+        self._in_edges[edge.dst].pop(edge_id, None)
+
+    def remove_node(self, node_id: str) -> None:
+        """Delete a node along with all of its incident edges."""
+        node = self.node(node_id)
+        incident = list(self._out_edges.get(node_id, ())) + list(
+            self._in_edges.get(node_id, ())
+        )
+        for edge_id in incident:
+            if edge_id in self._edges:
+                self.remove_edge(edge_id)
+        del self._nodes[node_id]
+        for label in node.labels:
+            self._nodes_by_label[label].pop(node_id, None)
+        self._out_edges.pop(node_id, None)
+        self._in_edges.pop(node_id, None)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ElementNotFoundError("node", node_id) from None
+
+    def edge(self, edge_id: str) -> Edge:
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise ElementNotFoundError("edge", edge_id) from None
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def has_edge(self, edge_id: str) -> bool:
+        return edge_id in self._edges
+
+    # ------------------------------------------------------------------
+    # scans (all deterministic: insertion order)
+    # ------------------------------------------------------------------
+    def nodes(self, label: str | None = None) -> Iterator[Node]:
+        """Iterate nodes, optionally restricted to one label (index scan)."""
+        if label is None:
+            yield from self._nodes.values()
+        else:
+            for node_id in self._nodes_by_label.get(label, ()):
+                yield self._nodes[node_id]
+
+    def edges(self, label: str | None = None) -> Iterator[Edge]:
+        """Iterate edges, optionally restricted to one label (index scan)."""
+        if label is None:
+            yield from self._edges.values()
+        else:
+            for edge_id in self._edges_by_label.get(label, ()):
+                yield self._edges[edge_id]
+
+    def out_edges(self, node_id: str, label: str | None = None) -> Iterator[Edge]:
+        """Edges leaving ``node_id``, optionally filtered by label."""
+        for edge_id in self._out_edges.get(node_id, ()):
+            edge = self._edges[edge_id]
+            if label is None or edge.label == label:
+                yield edge
+
+    def in_edges(self, node_id: str, label: str | None = None) -> Iterator[Edge]:
+        """Edges entering ``node_id``, optionally filtered by label."""
+        for edge_id in self._in_edges.get(node_id, ()):
+            edge = self._edges[edge_id]
+            if label is None or edge.label == label:
+                yield edge
+
+    def incident_edges(self, node_id: str, label: str | None = None) -> Iterator[Edge]:
+        """All edges touching ``node_id`` in either direction."""
+        yield from self.out_edges(node_id, label)
+        yield from self.in_edges(node_id, label)
+
+    def degree(self, node_id: str) -> int:
+        return len(self._out_edges.get(node_id, ())) + len(
+            self._in_edges.get(node_id, ())
+        )
+
+    # ------------------------------------------------------------------
+    # vocabulary
+    # ------------------------------------------------------------------
+    def node_labels(self) -> list[str]:
+        """All node labels in use, sorted."""
+        return sorted(
+            label for label, ids in self._nodes_by_label.items() if ids
+        )
+
+    def edge_labels(self) -> list[str]:
+        """All edge labels in use, sorted."""
+        return sorted(
+            label for label, ids in self._edges_by_label.items() if ids
+        )
+
+    def node_count(self, label: str | None = None) -> int:
+        if label is None:
+            return len(self._nodes)
+        return len(self._nodes_by_label.get(label, ()))
+
+    def edge_count(self, label: str | None = None) -> int:
+        if label is None:
+            return len(self._edges)
+        return len(self._edges_by_label.get(label, ()))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"PropertyGraph(name={self.name!r}, nodes={len(self._nodes)}, "
+            f"edges={len(self._edges)})"
+        )

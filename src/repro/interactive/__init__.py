@@ -1,0 +1,18 @@
+"""Interactive refinement and explanations (the paper's future work)."""
+
+from repro.interactive.explain import Explanation, explain_rule
+from repro.interactive.session import (
+    AuditRecord,
+    RefinementSession,
+    RuleStatus,
+    SessionEntry,
+)
+
+__all__ = [
+    "AuditRecord",
+    "Explanation",
+    "RefinementSession",
+    "RuleStatus",
+    "SessionEntry",
+    "explain_rule",
+]

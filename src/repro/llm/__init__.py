@@ -1,0 +1,72 @@
+"""Simulated LLM substrate: profiles, prompt parsing, induction, faults."""
+
+from repro.llm.base import CallLog, Completion, LLMClient, SimulatedClock
+from repro.llm.faults import (
+    HALLUCINATED_PROPERTY_POOL,
+    InjectionResult,
+    flip_first_direction,
+    inject_property_fault,
+    inject_syntax_fault,
+    maybe_inject,
+)
+from repro.llm.induction import (
+    FORMAT_DETECTORS,
+    InductionEngine,
+    Proposal,
+    TIME_PROPERTY_NAMES,
+)
+from repro.llm.profiles import (
+    DISPLAY_NAMES,
+    LLAMA3_PROFILE,
+    MIXTRAL_PROFILE,
+    MODEL_NAMES,
+    PROFILES,
+    ModelProfile,
+    get_profile,
+)
+from repro.llm.prompt_io import (
+    EdgeObservation,
+    MiniSchema,
+    NodeObservation,
+    VisibleGraphView,
+    extract_section,
+    parse_schema_summary,
+    parse_visible_graph,
+)
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.timing import LLAMA3_LATENCY, MIXTRAL_LATENCY, LatencyModel
+
+__all__ = [
+    "CallLog",
+    "Completion",
+    "DISPLAY_NAMES",
+    "EdgeObservation",
+    "FORMAT_DETECTORS",
+    "HALLUCINATED_PROPERTY_POOL",
+    "InductionEngine",
+    "InjectionResult",
+    "LLAMA3_LATENCY",
+    "LLAMA3_PROFILE",
+    "LLMClient",
+    "LatencyModel",
+    "MIXTRAL_LATENCY",
+    "MIXTRAL_PROFILE",
+    "MODEL_NAMES",
+    "MiniSchema",
+    "ModelProfile",
+    "NodeObservation",
+    "PROFILES",
+    "Proposal",
+    "SimulatedClock",
+    "SimulatedLLM",
+    "TIME_PROPERTY_NAMES",
+    "VisibleGraphView",
+    "extract_section",
+    "flip_first_direction",
+    "get_profile",
+    "inject_property_fault",
+    "inject_syntax_fault",
+    "maybe_inject",
+    "parse_schema_summary",
+    "parse_visible_graph",
+]

@@ -1,0 +1,68 @@
+"""LLM client abstraction and token/latency accounting.
+
+Every completion carries its prompt/completion token counts and a
+*simulated* latency computed from the model's throughput profile; a
+:class:`SimulatedClock` accumulates them so the mining pipelines can
+report Table 5-style wall times deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One LLM response."""
+
+    text: str
+    prompt_tokens: int
+    completion_tokens: int
+    latency_seconds: float
+    model: str
+
+
+class LLMClient(Protocol):
+    """Anything that can answer prompts (the pipelines depend only on
+    this protocol, so a real API-backed client can be dropped in)."""
+
+    name: str
+
+    def complete(self, prompt: str) -> Completion:  # pragma: no cover
+        ...
+
+
+@dataclass
+class SimulatedClock:
+    """Accumulates simulated seconds across LLM calls."""
+
+    elapsed_seconds: float = 0.0
+    calls: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    def record(self, completion: Completion) -> None:
+        self.elapsed_seconds += completion.latency_seconds
+        self.calls += 1
+        self.prompt_tokens += completion.prompt_tokens
+        self.completion_tokens += completion.completion_tokens
+
+    def reset(self) -> None:
+        self.elapsed_seconds = 0.0
+        self.calls = 0
+        self.prompt_tokens = 0
+        self.completion_tokens = 0
+
+
+@dataclass
+class CallLog:
+    """Optional per-call trace for debugging and the examples."""
+
+    entries: list[Completion] = field(default_factory=list)
+
+    def record(self, completion: Completion) -> None:
+        self.entries.append(completion)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,153 @@
+"""Cypher-generation fault injection — the paper's three error categories.
+
+§4.4 buckets the LLMs' wrong queries into: (1) flipped relationship
+directions, (2) references to properties that do not exist, (3) syntax
+errors such as ``=`` where ``=~`` was needed or a mangled regex
+quantifier (``(2,)`` instead of ``{2,}``).  The injector applies at most
+one fault per query, with per-model rates, on a seeded RNG — so the
+whole study's error census is reproducible and lands near the paper's
+observation of ~5 direction flips overall.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cypher.ast_nodes import MatchClause, RelPattern, SingleQuery
+from repro.cypher.parser import parse
+from repro.cypher.render import render_query
+from repro.llm.profiles import ModelProfile
+
+#: invented property names the models reach for (mirrors the paper's
+#: ``score`` / ``penaltyScore`` / ``minutes`` example)
+HALLUCINATED_PROPERTY_POOL = (
+    "score", "penaltyScore", "minutes", "status", "level", "category",
+    "rank", "weight",
+)
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """The possibly-faulted query and what was done to it."""
+
+    query: str
+    fault: Optional[str]            # 'direction' | 'syntax' | 'property'
+
+
+def flip_first_direction(query_text: str) -> Optional[str]:
+    """Reverse the first directed relationship in the query, or None."""
+    try:
+        query = parse(query_text)
+    except Exception:
+        return None
+    if not isinstance(query, SingleQuery):
+        return None
+
+    flipped = False
+    new_clauses = []
+    for clause in query.clauses:
+        if isinstance(clause, MatchClause) and not flipped:
+            new_patterns = []
+            for pattern in clause.patterns:
+                if flipped:
+                    new_patterns.append(pattern)
+                    continue
+                new_elements = []
+                for element in pattern.elements:
+                    if (
+                        isinstance(element, RelPattern)
+                        and element.direction in ("out", "in")
+                        and not flipped
+                    ):
+                        reverse = "in" if element.direction == "out" else "out"
+                        element = RelPattern(
+                            variable=element.variable, types=element.types,
+                            direction=reverse, properties=element.properties,
+                            min_hops=element.min_hops,
+                            max_hops=element.max_hops,
+                        )
+                        flipped = True
+                    new_elements.append(element)
+                new_patterns.append(
+                    type(pattern)(
+                        variable=pattern.variable,
+                        elements=tuple(new_elements),
+                    )
+                )
+            clause = MatchClause(
+                patterns=tuple(new_patterns), optional=clause.optional,
+                where=clause.where,
+            )
+        new_clauses.append(clause)
+    if not flipped:
+        return None
+    return render_query(SingleQuery(clauses=tuple(new_clauses)))
+
+
+def inject_syntax_fault(query_text: str, rng: random.Random) -> Optional[str]:
+    """Apply one of the paper's syntax-fault patterns, or None."""
+    candidates: list[str] = []
+    if " =~ " in query_text:
+        # the '=' instead of '=~' error from the paper's third example
+        candidates.append(query_text.replace(" =~ ", " = ", 1))
+    quantifier = re.search(r"\{(\d+),(\d*)\}", query_text)
+    if quantifier:
+        # the '(2,)' instead of '{2,}' regex-quantifier mangling
+        mangled = (
+            query_text[:quantifier.start()]
+            + f"({quantifier.group(1)},{quantifier.group(2)})"
+            + query_text[quantifier.end():]
+        )
+        candidates.append(mangled)
+    if " AS " in query_text:
+        # dropping an AS keyword leaves an unparsable projection
+        candidates.append(query_text.replace(" AS ", " ", 1))
+    if query_text.rstrip().endswith(")"):
+        candidates.append(query_text.rstrip()[:-1])
+    if not candidates:
+        return None
+    return rng.choice(candidates)
+
+
+def inject_property_fault(
+    query_text: str, rng: random.Random
+) -> Optional[str]:
+    """Swap one property reference for an invented name, or None."""
+    accesses = list(re.finditer(r"\.(\w+)", query_text))
+    if not accesses:
+        return None
+    target = rng.choice(accesses)
+    replacement = rng.choice(HALLUCINATED_PROPERTY_POOL)
+    if target.group(1) == replacement:
+        replacement = HALLUCINATED_PROPERTY_POOL[0]
+    return (
+        query_text[:target.start()]
+        + "." + replacement
+        + query_text[target.end():]
+    )
+
+
+def maybe_inject(
+    query_text: str, profile: ModelProfile, rng: random.Random
+) -> InjectionResult:
+    """Apply at most one fault according to the profile's rates."""
+    roll = rng.random()
+    if roll < profile.direction_flip_rate:
+        flipped = flip_first_direction(query_text)
+        if flipped is not None:
+            return InjectionResult(query=flipped, fault="direction")
+    elif roll < profile.direction_flip_rate + profile.syntax_fault_rate:
+        broken = inject_syntax_fault(query_text, rng)
+        if broken is not None:
+            return InjectionResult(query=broken, fault="syntax")
+    elif roll < (
+        profile.direction_flip_rate + profile.syntax_fault_rate
+        + profile.property_fault_rate
+    ):
+        mangled = inject_property_fault(query_text, rng)
+        if mangled is not None:
+            return InjectionResult(query=mangled, fault="property")
+    return InjectionResult(query=query_text, fault=None)

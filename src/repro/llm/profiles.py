@@ -1,0 +1,131 @@
+"""Behaviour profiles for the simulated LLaMA-3 and Mixtral.
+
+The study's qualitative contrast (§4.5):
+
+* **LLaMA-3** generates more rules with higher support/coverage/
+  confidence, mostly *simple* schema constraints (uniqueness, required
+  properties, labels);
+* **Mixtral** generates fewer rules but more *complex* ones (multi-hop
+  patterns, temporal constraints, scoped keys), hallucinates properties
+  more often (its ``score``/``penaltyScore``/``minutes`` example in
+  §4.4), and makes more Cypher translation mistakes.
+
+A profile parameterises the induction engine (which proposals to keep)
+and the fault model (how Cypher generation goes wrong).  Rates are per
+rule; the direction-flip rate is calibrated so roughly five flips appear
+across the whole study, as the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.timing import LLAMA3_LATENCY, MIXTRAL_LATENCY, LatencyModel
+from repro.rules.model import COMPLEX_KINDS, RuleKind, SIMPLE_KINDS
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Everything that distinguishes one simulated model from another."""
+
+    name: str
+    latency: LatencyModel
+    #: relative preference per rule kind (unlisted kinds get 0 weight)
+    kind_weights: dict[RuleKind, float] = field(default_factory=dict)
+    #: max rules emitted per completion (per window / per RAG call)
+    max_rules_per_call: int = 5
+    #: minimum induction evidence score for a proposal to be emitted
+    evidence_threshold: float = 0.6
+    #: cap on the combined rule set after cross-window dedup (§3.1.1)
+    swa_rule_cap: int = 12
+    #: how much pickier few-shot prompting makes the combination step
+    few_shot_reduction: int = 3
+    #: chance a kept rule gets a hallucinated property swapped in
+    hallucination_rate: float = 0.1
+    #: Cypher-generation fault rates (paper's three error categories)
+    direction_flip_rate: float = 0.05
+    syntax_fault_rate: float = 0.08
+    property_fault_rate: float = 0.02
+
+    def kind_weight(self, kind: RuleKind) -> float:
+        return self.kind_weights.get(kind, 0.0)
+
+
+def _weights(simple: float, complex_: float,
+             overrides: dict[RuleKind, float] | None = None
+             ) -> dict[RuleKind, float]:
+    weights = {kind: simple for kind in SIMPLE_KINDS}
+    weights.update({kind: complex_ for kind in COMPLEX_KINDS})
+    if overrides:
+        weights.update(overrides)
+    return weights
+
+
+LLAMA3_PROFILE = ModelProfile(
+    name="llama3",
+    latency=LLAMA3_LATENCY,
+    kind_weights=_weights(
+        simple=1.0,
+        complex_=0.25,
+        overrides={
+            # LLaMA-3 loves uniqueness/key rules ("Each tweet node should
+            # have a unique id property") and required properties
+            RuleKind.UNIQUENESS: 1.4,
+            RuleKind.PROPERTY_EXISTS: 1.3,
+            RuleKind.NO_SELF_LOOP: 0.5,
+        },
+    ),
+    max_rules_per_call=8,
+    evidence_threshold=0.55,
+    swa_rule_cap=12,
+    few_shot_reduction=4,
+    hallucination_rate=0.03,
+    direction_flip_rate=0.04,
+    syntax_fault_rate=0.07,
+    property_fault_rate=0.02,
+)
+
+MIXTRAL_PROFILE = ModelProfile(
+    name="mixtral",
+    latency=MIXTRAL_LATENCY,
+    kind_weights=_weights(
+        simple=0.7,
+        complex_=1.1,
+        overrides={
+            # Mixtral's reported strengths: multi-hop patterns, scoped
+            # keys and temporal constraints
+            RuleKind.PATTERN: 1.5,
+            RuleKind.PRIMARY_KEY: 1.3,
+            RuleKind.TEMPORAL_UNIQUE: 1.3,
+            RuleKind.TEMPORAL_ORDER: 1.2,
+        },
+    ),
+    max_rules_per_call=7,
+    evidence_threshold=0.6,
+    swa_rule_cap=10,
+    few_shot_reduction=3,
+    hallucination_rate=0.09,
+    direction_flip_rate=0.07,
+    syntax_fault_rate=0.12,
+    property_fault_rate=0.05,
+)
+
+PROFILES = {
+    LLAMA3_PROFILE.name: LLAMA3_PROFILE,
+    MIXTRAL_PROFILE.name: MIXTRAL_PROFILE,
+}
+
+MODEL_NAMES = ("llama3", "mixtral")
+
+#: Display names used in the paper's tables.
+DISPLAY_NAMES = {"llama3": "Llama-3", "mixtral": "Mixtral"}
+
+
+def get_profile(name: str) -> ModelProfile:
+    """Look up a model profile by name."""
+    try:
+        return PROFILES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(PROFILES)}"
+        ) from None

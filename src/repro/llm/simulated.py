@@ -1,0 +1,220 @@
+"""The simulated LLM: deterministic, prompt-bounded, behaviour-profiled.
+
+``SimulatedLLM`` implements the :class:`~repro.llm.base.LLMClient`
+protocol with two skills, dispatched on the prompt's section markers:
+
+* **rule generation** — parse the encoded graph text out of the prompt,
+  run :class:`~repro.llm.induction.InductionEngine` over *only what is
+  visible*, score proposals with the model profile (and the few-shot
+  example kinds when present), occasionally hallucinate a property name,
+  and emit a numbered list of natural-language rules;
+* **Cypher generation** — parse the rule sentence and the schema summary
+  out of the prompt, translate with the ground-truth translator oriented
+  by that (prompt-supplied) schema, then pass the query through the
+  seeded fault injector.
+
+Determinism: each completion seeds its RNG from (base seed, CRC32 of the
+prompt), so the same prompt always gets the same answer but different
+windows get different noise.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.encoding.tokenizer import count_tokens
+from repro.llm.base import CallLog, Completion, SimulatedClock
+from repro.llm.faults import HALLUCINATED_PROPERTY_POOL, maybe_inject
+from repro.llm.induction import InductionEngine, Proposal
+from repro.llm.profiles import ModelProfile, get_profile
+from repro.llm.prompt_io import (
+    extract_section,
+    parse_schema_summary,
+    parse_visible_graph,
+)
+from repro.prompts.templates import (
+    EXAMPLES_SECTION,
+    GRAPH_SECTION,
+    RULE_SECTION,
+    SCHEMA_SECTION,
+)
+from repro.rules.model import ConsistencyRule, RuleKind
+from repro.rules.nl import from_natural_language, parse_rule_list, to_natural_language
+from repro.rules.translator import RuleTranslator, UntranslatableRuleError
+
+#: evidence-threshold bump applied under few-shot prompting: examples
+#: make the model pickier (fewer rules, higher confidence — §4.3)
+FEW_SHOT_THRESHOLD_BUMP = 0.07
+#: score multiplier for kinds demonstrated in the few-shot examples
+FEW_SHOT_KIND_BOOST = 1.3
+
+
+class SimulatedLLM:
+    """A deterministic stand-in for a locally-served LLaMA-3 / Mixtral."""
+
+    def __init__(
+        self,
+        profile: ModelProfile | str,
+        seed: int = 0,
+        clock: SimulatedClock | None = None,
+        log: CallLog | None = None,
+    ) -> None:
+        self.profile = (
+            get_profile(profile) if isinstance(profile, str) else profile
+        )
+        self.seed = seed
+        self.clock = clock or SimulatedClock()
+        self.log = log
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    # ------------------------------------------------------------------
+    def complete(self, prompt: str) -> Completion:
+        """Answer one prompt (rule generation or Cypher generation)."""
+        rng = self._rng_for(prompt)
+        if extract_section(prompt, RULE_SECTION) is not None:
+            text = self._complete_cypher(prompt, rng)
+        elif extract_section(prompt, GRAPH_SECTION) is not None:
+            text = self._complete_rules(prompt, rng)
+        else:
+            text = "I need a graph or a rule to work with."
+        completion = self._package(prompt, text)
+        self.clock.record(completion)
+        if self.log is not None:
+            self.log.record(completion)
+        return completion
+
+    def _rng_for(self, prompt: str) -> random.Random:
+        digest = zlib.crc32(prompt.encode("utf-8"))
+        return random.Random((self.seed << 32) ^ digest)
+
+    def _package(self, prompt: str, text: str) -> Completion:
+        prompt_tokens = count_tokens(prompt)
+        completion_tokens = max(1, count_tokens(text))
+        latency = self.profile.latency.latency(
+            prompt_tokens, completion_tokens
+        )
+        return Completion(
+            text=text,
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
+            latency_seconds=latency,
+            model=self.profile.name,
+        )
+
+    # ------------------------------------------------------------------
+    # rule generation
+    # ------------------------------------------------------------------
+    def _complete_rules(self, prompt: str, rng: random.Random) -> str:
+        graph_text = extract_section(prompt, GRAPH_SECTION) or ""
+        view = parse_visible_graph(graph_text)
+        proposals = InductionEngine(view).propose()
+
+        examples_text = extract_section(prompt, EXAMPLES_SECTION)
+        example_kinds: set[RuleKind] = set()
+        threshold = self.profile.evidence_threshold
+        if examples_text:
+            example_rules, _unparsed = parse_rule_list(examples_text)
+            example_kinds = {rule.kind for rule in example_rules}
+            threshold += FEW_SHOT_THRESHOLD_BUMP
+
+        scored: list[tuple[float, int, Proposal]] = []
+        for index, proposal in enumerate(proposals):
+            weight = self.profile.kind_weight(proposal.rule.kind)
+            if weight <= 0:
+                continue
+            score = proposal.evidence * weight
+            if proposal.rule.kind in example_kinds:
+                score *= FEW_SHOT_KIND_BOOST
+            score += rng.uniform(-0.04, 0.04)
+            if proposal.evidence < threshold:
+                continue
+            scored.append((score, index, proposal))
+
+        per_call_cap = self.profile.max_rules_per_call
+        if example_kinds:
+            # few-shot makes the model terser: it imitates the short
+            # example list instead of enumerating everything it sees
+            per_call_cap = max(3, per_call_cap - 2)
+
+        # greedy pick with a mild diminishing-returns penalty per
+        # (kind, label) so one label's properties don't fill every slot
+        pool = list(scored)
+        kept: list[Proposal] = []
+        group_counts: dict[tuple, int] = {}
+        while pool and len(kept) < per_call_cap:
+            best_at = 0
+            best_value = float("-inf")
+            for at, (score, _index, proposal) in enumerate(pool):
+                group = (
+                    proposal.rule.kind,
+                    proposal.rule.label or proposal.rule.edge_label,
+                )
+                value = score * (0.7 ** group_counts.get(group, 0))
+                if value > best_value:
+                    best_value = value
+                    best_at = at
+            _score, _index, chosen = pool.pop(best_at)
+            group = (
+                chosen.rule.kind,
+                chosen.rule.label or chosen.rule.edge_label,
+            )
+            group_counts[group] = group_counts.get(group, 0) + 1
+            kept.append(chosen)
+
+        sentences: list[str] = []
+        for position, proposal in enumerate(kept, start=1):
+            rule = self._maybe_hallucinate(proposal.rule, view, rng)
+            sentences.append(f"{position}. {to_natural_language(rule)}")
+        if not sentences:
+            return "No consistency rules could be inferred from this data."
+        return "\n".join(sentences)
+
+    def _maybe_hallucinate(
+        self,
+        rule: ConsistencyRule,
+        view,
+        rng: random.Random,
+    ) -> ConsistencyRule:
+        """Sometimes swap a property for an invented one (§4.4, cat. 2)."""
+        if not rule.properties:
+            return rule
+        if rng.random() >= self.profile.hallucination_rate:
+            return rule
+        invented = rng.choice(HALLUCINATED_PROPERTY_POOL)
+        properties = tuple(
+            invented if index == len(rule.properties) - 1 else key
+            for index, key in enumerate(rule.properties)
+        )
+        mutated = ConsistencyRule(
+            kind=rule.kind, text="", label=rule.label,
+            properties=properties, edge_label=rule.edge_label,
+            src_label=rule.src_label, dst_label=rule.dst_label,
+            allowed_values=rule.allowed_values,
+            pattern_regex=rule.pattern_regex,
+            scope_edge_label=rule.scope_edge_label,
+            scope_label=rule.scope_label,
+            time_property=rule.time_property,
+        )
+        return mutated
+
+    # ------------------------------------------------------------------
+    # Cypher generation
+    # ------------------------------------------------------------------
+    def _complete_cypher(self, prompt: str, rng: random.Random) -> str:
+        rule_text = extract_section(prompt, RULE_SECTION) or ""
+        schema_text = extract_section(prompt, SCHEMA_SECTION) or ""
+        rule = from_natural_language(rule_text.strip())
+        if rule is None:
+            return "MATCH (n) RETURN count(*) AS support"
+        schema = parse_schema_summary(schema_text)
+        translator = RuleTranslator(schema)  # duck-typed: edge_connects
+        try:
+            queries = translator.translate(rule)
+        except UntranslatableRuleError:
+            return "MATCH (n) RETURN count(*) AS support"
+        injected = maybe_inject(queries.check, self.profile, rng)
+        return injected.query

@@ -1,0 +1,10 @@
+"""Support / coverage / confidence — AMIE-style metrics for rules."""
+
+from repro.metrics.definitions import (
+    AggregateMetrics,
+    RuleMetrics,
+    aggregate,
+)
+from repro.metrics.evaluator import evaluate_rule
+
+__all__ = ["AggregateMetrics", "RuleMetrics", "aggregate", "evaluate_rule"]

@@ -1,0 +1,72 @@
+"""Metric definitions (§4.2): support, coverage, confidence.
+
+Adapted from AMIE's rule-ranking measures to property graphs:
+
+* **support** — the number of elements in the graph that satisfy the
+  rule ("a higher support indicates that the rule is applicable to more
+  facts");
+* **coverage** — support normalised "by the total number of facts for
+  the relation in question" (the rule's head relation);
+* **confidence** — satisfying elements over elements matching the rule's
+  body conditions ("how often the rule leads to the expected outcomes").
+
+Coverage and confidence are reported as percentages, as in Tables 2-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RuleMetrics:
+    """The three §4.2 measures for one rule."""
+
+    support: int
+    relevant: int      # facts for the head relation (coverage denominator)
+    body: int          # body-condition matches (confidence denominator)
+
+    @property
+    def coverage(self) -> float:
+        """Support / head-relation facts, as a percentage in [0, 100]."""
+        if self.relevant <= 0:
+            return 0.0
+        return min(100.0, 100.0 * self.support / self.relevant)
+
+    @property
+    def confidence(self) -> float:
+        """Support / body matches, as a percentage in [0, 100]."""
+        if self.body <= 0:
+            return 0.0
+        return min(100.0, 100.0 * self.support / self.body)
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """One table cell: rule count plus averaged metrics.
+
+    The tables report the *average* support (the "Supp%" column header is
+    a typo in the paper — its values are raw counts like 12,177) and the
+    average coverage/confidence across the configuration's rules.
+    """
+
+    rule_count: int
+    avg_support: float
+    avg_coverage: float
+    avg_confidence: float
+
+
+def aggregate(metrics: list[RuleMetrics]) -> AggregateMetrics:
+    """Average per-rule metrics into a table cell."""
+    if not metrics:
+        return AggregateMetrics(
+            rule_count=0, avg_support=0.0, avg_coverage=0.0,
+            avg_confidence=0.0,
+        )
+    count = len(metrics)
+    return AggregateMetrics(
+        rule_count=count,
+        avg_support=sum(m.support for m in metrics) / count,
+        avg_coverage=sum(m.coverage for m in metrics) / count,
+        avg_confidence=sum(m.confidence for m in metrics) / count,
+    )

@@ -1,0 +1,36 @@
+"""Metric evaluation: run a rule's query bundle on the graph.
+
+"The metrics for a given rule were computed by executing the
+corresponding Cypher query" (§4.2) — here, against the
+:mod:`repro.cypher` engine.  Queries that fail at runtime (e.g. they
+reference hallucinated properties in a way the engine rejects) score
+zero, mirroring a rule that matches nothing.
+"""
+
+from __future__ import annotations
+
+from repro.cypher.errors import CypherError
+from repro.cypher.executor import execute
+from repro.graph.store import PropertyGraph
+from repro.metrics.definitions import RuleMetrics
+from repro.rules.translator import MetricQueries
+
+
+def _count(graph: PropertyGraph, query_text: str) -> int:
+    """Run a count query; non-integer or failing results count as zero."""
+    try:
+        value = execute(graph, query_text).scalar()
+    except CypherError:
+        return 0
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return 0
+    return int(value)
+
+
+def evaluate_rule(graph: PropertyGraph, queries: MetricQueries) -> RuleMetrics:
+    """Compute §4.2 metrics for one rule's query bundle."""
+    return RuleMetrics(
+        support=_count(graph, queries.satisfy),
+        relevant=_count(graph, queries.relevant),
+        body=_count(graph, queries.body),
+    )

@@ -1,0 +1,52 @@
+"""Mining pipelines: sliding-window, RAG, and the experiment runner."""
+
+from repro.mining.pipeline import (
+    FEW_SHOT,
+    PROMPT_MODES,
+    ZERO_SHOT,
+    BasePipeline,
+    PipelineContext,
+    combine_and_cap,
+    run_seed,
+)
+from repro.mining.parallel import ParallelSlidingWindowPipeline, WorkerReport
+from repro.mining.persistence import (
+    load_runs,
+    rule_from_dict,
+    rule_to_dict,
+    run_from_dict,
+    run_to_dict,
+    save_runs,
+)
+from repro.mining.ragpipe import RAGPipeline, RETRIEVAL_QUERY
+from repro.mining.result import MiningRun, RuleResult
+from repro.mining.runner import METHODS, ExperimentRunner
+from repro.mining.sliding import SlidingWindowPipeline
+from repro.mining.summary import SummaryPipeline, build_summary_statements
+
+__all__ = [
+    "BasePipeline",
+    "ExperimentRunner",
+    "FEW_SHOT",
+    "METHODS",
+    "MiningRun",
+    "PROMPT_MODES",
+    "ParallelSlidingWindowPipeline",
+    "PipelineContext",
+    "RAGPipeline",
+    "RETRIEVAL_QUERY",
+    "RuleResult",
+    "SlidingWindowPipeline",
+    "SummaryPipeline",
+    "WorkerReport",
+    "ZERO_SHOT",
+    "build_summary_statements",
+    "combine_and_cap",
+    "load_runs",
+    "rule_from_dict",
+    "rule_to_dict",
+    "run_from_dict",
+    "run_to_dict",
+    "run_seed",
+    "save_runs",
+]

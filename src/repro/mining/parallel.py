@@ -1,0 +1,163 @@
+"""Parallel sliding-window mining (§4.3's future-work proposal).
+
+"Future research on efficient rule mining with LLMs should focus on
+parallelizing the prompting process (e.g., distributing different parts
+of the graph to multiple LLMs)."
+
+This pipeline does exactly that: the windows are distributed round-robin
+over ``workers`` simulated LLM replicas.  Each replica accumulates its
+own simulated clock; the mining wall time is the *makespan* (the slowest
+replica), so the speedup over the sequential pipeline approaches the
+worker count for large graphs.  Rule combination is unchanged — the
+per-window completions are unioned exactly as in §3.1.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.encoding.windows import (
+    DEFAULT_OVERLAP,
+    DEFAULT_WINDOW_SIZE,
+    SlidingWindowChunker,
+    WindowSet,
+)
+from repro.llm.base import SimulatedClock
+from repro.llm.profiles import get_profile
+from repro.llm.simulated import SimulatedLLM
+from repro.mining.pipeline import (
+    BasePipeline,
+    PipelineContext,
+    combine_and_cap,
+    run_seed,
+)
+from repro.mining.result import MiningRun
+from repro.prompts.examples import examples_text
+from repro.prompts.templates import few_shot_prompt, zero_shot_prompt
+
+
+@dataclass
+class WorkerReport:
+    """Per-replica accounting for one parallel run."""
+
+    worker_id: int
+    windows: int = 0
+    seconds: float = 0.0
+    clock: SimulatedClock = field(default_factory=SimulatedClock)
+
+
+class ParallelSlidingWindowPipeline(BasePipeline):
+    """Round-robin window distribution across N simulated LLM replicas."""
+
+    method = "parallel_sliding_window"
+
+    def __init__(
+        self,
+        context: PipelineContext,
+        workers: int = 4,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+        overlap: int = DEFAULT_OVERLAP,
+        base_seed: int = 0,
+    ) -> None:
+        super().__init__(context, base_seed=base_seed)
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.chunker = SlidingWindowChunker(
+            window_size=window_size, overlap=overlap
+        )
+        self._window_set: WindowSet | None = None
+
+    @property
+    def window_set(self) -> WindowSet:
+        if self._window_set is None:
+            self._window_set = self.chunker.chunk_statements(
+                self.context.statements
+            )
+        return self._window_set
+
+    # ------------------------------------------------------------------
+    def mine(self, model: str, prompt_mode: str) -> MiningRun:
+        profile = get_profile(model)
+        windows = self.window_set
+        # one replica per worker; each replica is seeded like the
+        # sequential pipeline so a window's completion is *identical* to
+        # the sequential run's — parallelism must not change the rules
+        replicas: list[SimulatedLLM] = []
+        reports: list[WorkerReport] = []
+        for worker_id in range(self.workers):
+            clock = SimulatedClock()
+            replicas.append(SimulatedLLM(
+                profile=profile,
+                seed=run_seed(
+                    self.context.name, profile.name, "sliding_window",
+                    prompt_mode, base_seed=self.base_seed,
+                ),
+                clock=clock,
+            ))
+            reports.append(WorkerReport(worker_id=worker_id, clock=clock))
+
+        run = MiningRun(
+            dataset=self.context.name,
+            model=profile.name,
+            method=self.method,
+            prompt_mode=prompt_mode,
+            window_count=windows.window_count,
+            broken_statements=windows.broken_statement_count,
+            broken_patterns=windows.broken_pattern_count,
+        )
+
+        examples = examples_text() if prompt_mode == "few_shot" else None
+        per_window_rules = []
+        for window in windows.windows:
+            worker = window.index % self.workers
+            if examples is not None:
+                prompt = few_shot_prompt(window.text, examples)
+            else:
+                prompt = zero_shot_prompt(window.text)
+            completion = replicas[worker].complete(prompt)
+            reports[worker].windows += 1
+            per_window_rules.append(
+                self.parse_completion(
+                    completion.text,
+                    provenance=(
+                        f"{profile.name}/worker-{worker}/"
+                        f"window-{window.index}"
+                    ),
+                )
+            )
+        for report in reports:
+            report.seconds = report.clock.elapsed_seconds
+
+        # makespan: the run finishes when the slowest replica does
+        run.mining_seconds = max(
+            (report.seconds for report in reports), default=0.0
+        )
+        self.worker_reports = reports
+
+        combined = combine_and_cap(
+            per_window_rules, profile, prompt_mode,
+            self.run_rng(profile.name, prompt_mode),
+        )
+        # the second (Cypher) step is small; run it on replica 0
+        self.translate_and_score(run, combined.rules, replicas[0])
+        return run
+
+    def run_rng(self, model_name: str, prompt_mode: str):
+        """Use the sequential pipeline's combination RNG so a parallel
+        run selects exactly the same rules — parallelism is a pure
+        latency optimisation, never a behaviour change."""
+        import random
+
+        return random.Random(
+            run_seed(
+                self.context.name, model_name, "sliding_window",
+                prompt_mode, "combine", base_seed=self.base_seed,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def speedup_over_sequential(self, run: MiningRun) -> float:
+        """Observed speedup = total work / makespan."""
+        total = sum(report.seconds for report in self.worker_reports)
+        return total / run.mining_seconds if run.mining_seconds else 0.0

@@ -1,0 +1,210 @@
+"""Persistence for mining runs: JSON round-trip of the full grid.
+
+An experiment grid takes minutes on the large graphs; archiving the
+:class:`~repro.mining.result.MiningRun` records lets results be compared
+across seeds, parameter sweeps and code versions without re-mining.
+
+Fidelity note: the serialised record captures everything the tables need
+(rules, final queries, classification, metrics, timings).  The verbose
+internals that can be regenerated (lint issue lists, metric query
+bundles) are reduced to their reportable form.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.correction.corrector import CorrectionOutcome
+from repro.cypher.linter import ErrorCategory, LintIssue, LintReport
+from repro.correction.classifier import Classification
+from repro.metrics.definitions import RuleMetrics
+from repro.mining.result import MiningRun, RuleResult
+from repro.rules.model import ConsistencyRule, RuleKind
+from repro.rules.translator import MetricQueries
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# rules
+# ----------------------------------------------------------------------
+def rule_to_dict(rule: ConsistencyRule) -> dict[str, Any]:
+    return {
+        "kind": rule.kind.value,
+        "text": rule.text,
+        "label": rule.label,
+        "properties": list(rule.properties),
+        "edge_label": rule.edge_label,
+        "src_label": rule.src_label,
+        "dst_label": rule.dst_label,
+        "allowed_values": list(rule.allowed_values),
+        "pattern_regex": rule.pattern_regex,
+        "scope_edge_label": rule.scope_edge_label,
+        "scope_label": rule.scope_label,
+        "time_property": rule.time_property,
+        "provenance": rule.provenance,
+    }
+
+
+def rule_from_dict(payload: dict[str, Any]) -> ConsistencyRule:
+    return ConsistencyRule(
+        kind=RuleKind(payload["kind"]),
+        text=payload["text"],
+        label=payload.get("label"),
+        properties=tuple(payload.get("properties", ())),
+        edge_label=payload.get("edge_label"),
+        src_label=payload.get("src_label"),
+        dst_label=payload.get("dst_label"),
+        allowed_values=tuple(payload.get("allowed_values", ())),
+        pattern_regex=payload.get("pattern_regex"),
+        scope_edge_label=payload.get("scope_edge_label"),
+        scope_label=payload.get("scope_label"),
+        time_property=payload.get("time_property"),
+        provenance=payload.get("provenance", ""),
+    )
+
+
+# ----------------------------------------------------------------------
+# runs
+# ----------------------------------------------------------------------
+def run_to_dict(run: MiningRun) -> dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "dataset": run.dataset,
+        "model": run.model,
+        "method": run.method,
+        "prompt_mode": run.prompt_mode,
+        "mining_seconds": run.mining_seconds,
+        "cypher_seconds": run.cypher_seconds,
+        "window_count": run.window_count,
+        "broken_statements": run.broken_statements,
+        "broken_patterns": run.broken_patterns,
+        "retrieved_chunks": run.retrieved_chunks,
+        "total_chunks": run.total_chunks,
+        "results": [
+            {
+                "rule": rule_to_dict(result.rule),
+                "generated_query": result.outcome.generated_query,
+                "final_query": result.outcome.final_query,
+                "is_correct": result.outcome.classification.is_correct,
+                "error_category":
+                    result.outcome.classification.category_name,
+                "issues": [
+                    {"category": issue.category.value,
+                     "message": issue.message}
+                    for issue in
+                    result.outcome.classification.report.issues
+                ],
+                "corrected": result.outcome.corrected,
+                "left_uncorrected": result.outcome.left_uncorrected,
+                "metric_queries": (
+                    {
+                        "check": result.outcome.metric_queries.check,
+                        "relevant":
+                            result.outcome.metric_queries.relevant,
+                        "body": result.outcome.metric_queries.body,
+                        "satisfy": result.outcome.metric_queries.satisfy,
+                        "violations":
+                            result.outcome.metric_queries.violations,
+                    }
+                    if result.outcome.metric_queries is not None else None
+                ),
+                "metrics": {
+                    "support": result.metrics.support,
+                    "relevant": result.metrics.relevant,
+                    "body": result.metrics.body,
+                },
+            }
+            for result in run.results
+        ],
+    }
+
+
+def run_from_dict(payload: dict[str, Any]) -> MiningRun:
+    version = payload.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported run format version: {version}")
+    run = MiningRun(
+        dataset=payload["dataset"],
+        model=payload["model"],
+        method=payload["method"],
+        prompt_mode=payload["prompt_mode"],
+        mining_seconds=payload.get("mining_seconds", 0.0),
+        cypher_seconds=payload.get("cypher_seconds", 0.0),
+        window_count=payload.get("window_count", 0),
+        broken_statements=payload.get("broken_statements", 0),
+        broken_patterns=payload.get("broken_patterns", 0),
+        retrieved_chunks=payload.get("retrieved_chunks", 0),
+        total_chunks=payload.get("total_chunks", 0),
+    )
+    for record in payload.get("results", ()):
+        rule = rule_from_dict(record["rule"])
+        issues = [
+            LintIssue(
+                category=ErrorCategory(issue["category"]),
+                message=issue["message"],
+            )
+            for issue in record.get("issues", ())
+        ]
+        report = LintReport(
+            query_text=record["generated_query"], issues=issues
+        )
+        classification = Classification(
+            query=record["generated_query"],
+            is_correct=record["is_correct"],
+            primary_category=(
+                ErrorCategory(record["error_category"])
+                if record.get("error_category") else None
+            ),
+            report=report,
+        )
+        queries_payload = record.get("metric_queries")
+        metric_queries = (
+            MetricQueries(
+                check=queries_payload["check"],
+                relevant=queries_payload["relevant"],
+                body=queries_payload["body"],
+                satisfy=queries_payload["satisfy"],
+                violations=queries_payload.get("violations"),
+            )
+            if queries_payload else None
+        )
+        outcome = CorrectionOutcome(
+            rule=rule,
+            generated_query=record["generated_query"],
+            final_query=record["final_query"],
+            classification=classification,
+            corrected=record.get("corrected", False),
+            left_uncorrected=record.get("left_uncorrected", False),
+            metric_queries=metric_queries,
+        )
+        metrics = RuleMetrics(
+            support=record["metrics"]["support"],
+            relevant=record["metrics"]["relevant"],
+            body=record["metrics"]["body"],
+        )
+        run.results.append(
+            RuleResult(rule=rule, outcome=outcome, metrics=metrics)
+        )
+    return run
+
+
+def save_runs(runs: list[MiningRun], path: str | Path) -> None:
+    """Archive a list of runs to a JSON file."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "runs": [run_to_dict(run) for run in runs],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_runs(path: str | Path) -> list[MiningRun]:
+    """Load runs archived with :func:`save_runs`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported archive version: {version}")
+    return [run_from_dict(record) for record in payload.get("runs", ())]

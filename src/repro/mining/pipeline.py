@@ -1,0 +1,277 @@
+"""Shared pipeline machinery (Figure 1).
+
+Both encoding strategies share everything but *how the graph text reaches
+the LLM*: the :class:`PipelineContext` (graph, schema, encoded
+statements, built once per dataset), the combination of per-call rules
+into a final set, the second LLM step translating each rule to Cypher,
+the §4.4 correction, and the metric evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.correction.corrector import QueryCorrector
+from repro.datasets.base import Dataset
+from repro.encoding.incident import IncidentEncoder, Statement
+from repro.graph.schema import GraphSchema, infer_schema
+from repro.graph.store import PropertyGraph
+from repro.llm.base import SimulatedClock
+from repro.llm.profiles import ModelProfile, get_profile
+from repro.llm.simulated import SimulatedLLM
+from repro.metrics.definitions import RuleMetrics
+from repro.metrics.evaluator import evaluate_rule
+from repro.mining.result import MiningRun, RuleResult
+from repro.prompts.templates import cypher_prompt
+from repro.rules.dedup import merge_property_exists
+from repro.rules.model import ConsistencyRule, RuleKind
+from repro.rules.nl import parse_rule_list
+
+ZERO_SHOT = "zero_shot"
+FEW_SHOT = "few_shot"
+PROMPT_MODES = (ZERO_SHOT, FEW_SHOT)
+
+
+@dataclass
+class PipelineContext:
+    """Per-dataset state shared across models, prompts and methods."""
+
+    dataset: Dataset
+    statements: list[Statement]
+    schema: GraphSchema
+    schema_summary: str
+
+    @property
+    def graph(self) -> PropertyGraph:
+        return self.dataset.graph
+
+    @property
+    def name(self) -> str:
+        return self.dataset.graph.name
+
+    @classmethod
+    def build(cls, dataset: Dataset, encoder=None) -> "PipelineContext":
+        encoder = encoder or IncidentEncoder()
+        schema = infer_schema(dataset.graph)
+        return cls(
+            dataset=dataset,
+            statements=encoder.encode(dataset.graph),
+            schema=schema,
+            schema_summary=schema.describe(),
+        )
+
+
+@dataclass
+class _CombinedRules:
+    """Output of the rule-combination step."""
+
+    rules: list[ConsistencyRule]
+    per_call_counts: list[int] = field(default_factory=list)
+
+
+def combine_and_cap(
+    per_call_rules: list[list[ConsistencyRule]],
+    profile: ModelProfile,
+    prompt_mode: str,
+    rng: random.Random,
+) -> _CombinedRules:
+    """§3.1.1's combination step.
+
+    Dedup by signature, fuse same-label PROPERTY_EXISTS rules into one
+    multi-property rule (the paper's "date *and stage*" example), rank by
+    how many calls re-derived each rule, and select under the profile's
+    budget with a diversity penalty so one label cannot flood the set.
+
+    Frequency ranking lets schema-wide regularities beat one-off
+    (possibly hallucinated) rules — yet low-frequency rules survive when
+    budget remains, so hallucinations reach Table 6 as in the paper.
+    """
+    frequency: dict[tuple, int] = {}
+    first_seen: dict[tuple, tuple[int, ConsistencyRule]] = {}
+    order = 0
+    for call_rules in per_call_rules:
+        for rule in call_rules:
+            signature = rule.signature()
+            frequency[signature] = frequency.get(signature, 0) + 1
+            if signature not in first_seen:
+                first_seen[signature] = (order, rule)
+                order += 1
+
+    cap = profile.swa_rule_cap
+    if prompt_mode == FEW_SHOT:
+        cap = max(3, cap - profile.few_shot_reduction)
+
+    # A rule must recur across calls to be trusted: one-off proposals
+    # (most hallucinations) fall below the floor.  The floor stays at 2
+    # even for many windows because labels cluster in the encoding — a
+    # rule about a small label may only ever be visible to the one or
+    # two windows covering its region.  Single-call runs (RAG) have no
+    # recurrence signal, so the floor is 1 there.
+    calls = len(per_call_rules)
+    floor = 2 if calls > 1 else 1
+    survivors = {
+        signature: (order, rule)
+        for signature, (order, rule) in first_seen.items()
+        if frequency[signature] >= floor
+    }
+    if not survivors:  # tiny inputs: keep everything rather than nothing
+        survivors = dict(first_seen)
+
+    # PROPERTY_EXISTS members must also be frequent *relative to their
+    # label's strongest property* before fusing — otherwise a recurring
+    # hallucinated property (easy to hit with hundreds of windows) would
+    # poison the merged rule
+    label_max: dict[str, int] = {}
+    for signature, (_order, rule) in survivors.items():
+        if rule.kind is RuleKind.PROPERTY_EXISTS and rule.label:
+            label_max[rule.label] = max(
+                label_max.get(rule.label, 0), frequency[signature]
+            )
+    filtered = {
+        signature: (order, rule)
+        for signature, (order, rule) in survivors.items()
+        if not (
+            rule.kind is RuleKind.PROPERTY_EXISTS
+            and rule.label
+            and frequency[signature]
+            < max(floor, 0.3 * label_max.get(rule.label, 0))
+        )
+    }
+    candidates = [rule for _sig, (_ord, rule) in sorted(
+        filtered.items(), key=lambda item: item[1][0]
+    )]
+    survivors = filtered
+    # fuse per-label existence rules; the fused rule inherits the
+    # *maximum* member frequency so it keeps its ranking position
+    fused = merge_property_exists(candidates)
+    fused_frequency: dict[tuple, int] = {}
+    for rule in fused:
+        if rule.kind is RuleKind.PROPERTY_EXISTS:
+            members = [
+                frequency[sig] for sig, (_o, member) in survivors.items()
+                if member.kind is RuleKind.PROPERTY_EXISTS
+                and member.label == rule.label
+            ]
+            fused_frequency[rule.signature()] = max(members, default=1)
+        else:
+            fused_frequency[rule.signature()] = frequency.get(
+                rule.signature(), 1
+            )
+
+    ranked = sorted(
+        enumerate(fused),
+        key=lambda item: (-fused_frequency[item[1].signature()], item[0]),
+    )
+
+    # greedy selection with a diminishing-returns penalty per (kind,
+    # label) group: diverse rule sets, like the paper's appendix lists
+    kept: list[ConsistencyRule] = []
+    group_counts: dict[tuple, int] = {}
+    pool = [rule for _index, rule in ranked]
+    while pool and len(kept) < cap:
+        best_index = 0
+        best_score = float("-inf")
+        for index, rule in enumerate(pool):
+            group = (rule.kind, rule.label or rule.edge_label)
+            penalty = 0.55 ** group_counts.get(group, 0)
+            score = fused_frequency[rule.signature()] * penalty
+            if score > best_score:
+                best_score = score
+                best_index = index
+        chosen = pool.pop(best_index)
+        group = (chosen.kind, chosen.label or chosen.edge_label)
+        group_counts[group] = group_counts.get(group, 0) + 1
+        kept.append(chosen)
+
+    # occasionally a one-off rule (often a hallucination) still makes the
+    # final set, as the paper's category-2 queries attest
+    rare_pool = pool + [
+        rule for signature, (_order, rule) in first_seen.items()
+        if signature not in survivors
+    ]
+    if rare_pool and len(kept) >= cap and rng.random() < 0.2:
+        kept[-1] = rng.choice(rare_pool)
+    return _CombinedRules(
+        rules=kept,
+        per_call_counts=[len(rules) for rules in per_call_rules],
+    )
+
+
+def run_seed(*parts: object, base_seed: int = 0) -> int:
+    """Stable seed derived from the run coordinates."""
+    key = "|".join(str(part) for part in parts)
+    return (base_seed << 32) ^ zlib.crc32(key.encode("utf-8"))
+
+
+class BasePipeline:
+    """Steps 2-4 of the pipeline; subclasses implement rule mining."""
+
+    method = "base"
+
+    def __init__(self, context: PipelineContext, base_seed: int = 0) -> None:
+        self.context = context
+        self.base_seed = base_seed
+        self.corrector = QueryCorrector(context.schema)
+
+    # ------------------------------------------------------------------
+    def make_llm(
+        self, model: str | ModelProfile, prompt_mode: str
+    ) -> tuple[SimulatedLLM, SimulatedClock]:
+        profile = get_profile(model) if isinstance(model, str) else model
+        clock = SimulatedClock()
+        llm = SimulatedLLM(
+            profile=profile,
+            seed=run_seed(
+                self.context.name, profile.name, self.method, prompt_mode,
+                base_seed=self.base_seed,
+            ),
+            clock=clock,
+        )
+        return llm, clock
+
+    def run_rng(self, model_name: str, prompt_mode: str) -> random.Random:
+        return random.Random(
+            run_seed(
+                self.context.name, model_name, self.method, prompt_mode,
+                "combine", base_seed=self.base_seed,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def mine(self, model: str, prompt_mode: str) -> MiningRun:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def translate_and_score(
+        self,
+        run: MiningRun,
+        rules: list[ConsistencyRule],
+        llm: SimulatedLLM,
+    ) -> None:
+        """Second LLM step, correction protocol, metric evaluation."""
+        clock_before = llm.clock.elapsed_seconds
+        for rule in rules:
+            prompt = cypher_prompt(rule.text, self.context.schema_summary)
+            completion = llm.complete(prompt)
+            outcome = self.corrector.correct(rule, completion.text)
+            if outcome.metric_queries is not None:
+                metrics = evaluate_rule(
+                    self.context.graph, outcome.metric_queries
+                )
+            else:
+                metrics = RuleMetrics(support=0, relevant=0, body=0)
+            run.results.append(
+                RuleResult(rule=rule, outcome=outcome, metrics=metrics)
+            )
+        run.cypher_seconds = llm.clock.elapsed_seconds - clock_before
+
+    @staticmethod
+    def parse_completion(
+        completion_text: str, provenance: str
+    ) -> list[ConsistencyRule]:
+        rules, _unparsed = parse_rule_list(
+            completion_text, provenance=provenance
+        )
+        return rules

@@ -1,0 +1,88 @@
+"""Full experiment grid: datasets × models × encodings × prompts.
+
+One :class:`ExperimentRunner` owns the per-dataset contexts and pipeline
+instances (so encodings, window sets and vector indexes are built once)
+and produces the 24 :class:`~repro.mining.result.MiningRun` cells that
+Tables 2-6 are assembled from.  Runs are cached by cell key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.registry import DATASET_NAMES, load
+from repro.llm.profiles import MODEL_NAMES
+from repro.mining.pipeline import PROMPT_MODES, PipelineContext
+from repro.mining.ragpipe import RAGPipeline
+from repro.mining.result import MiningRun
+from repro.mining.sliding import SlidingWindowPipeline
+
+METHODS = ("sliding_window", "rag")
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs and caches the paper's experiment grid."""
+
+    base_seed: int = 0
+    window_size: int = 8000
+    overlap: int = 500
+    rag_chunk_tokens: int = 512
+    rag_top_k: int = 16
+    _contexts: dict[str, PipelineContext] = field(default_factory=dict)
+    _pipelines: dict[tuple[str, str], object] = field(default_factory=dict)
+    _runs: dict[tuple[str, str, str, str], MiningRun] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    def context(self, dataset: str) -> PipelineContext:
+        key = dataset.lower()
+        if key not in self._contexts:
+            self._contexts[key] = PipelineContext.build(load(key))
+        return self._contexts[key]
+
+    def pipeline(self, dataset: str, method: str):
+        key = (dataset.lower(), method)
+        if key not in self._pipelines:
+            context = self.context(dataset)
+            if method == "sliding_window":
+                self._pipelines[key] = SlidingWindowPipeline(
+                    context, window_size=self.window_size,
+                    overlap=self.overlap, base_seed=self.base_seed,
+                )
+            elif method == "rag":
+                self._pipelines[key] = RAGPipeline(
+                    context, chunk_tokens=self.rag_chunk_tokens,
+                    top_k=self.rag_top_k, base_seed=self.base_seed,
+                )
+            else:
+                raise ValueError(f"unknown method {method!r}")
+        return self._pipelines[key]
+
+    # ------------------------------------------------------------------
+    def run(
+        self, dataset: str, model: str, method: str, prompt_mode: str
+    ) -> MiningRun:
+        """Run (or fetch) one grid cell."""
+        key = (dataset.lower(), model.lower(), method, prompt_mode)
+        if key not in self._runs:
+            pipeline = self.pipeline(dataset, method)
+            self._runs[key] = pipeline.mine(model, prompt_mode)
+        return self._runs[key]
+
+    def run_dataset(self, dataset: str) -> list[MiningRun]:
+        """All eight cells for one dataset (Tables 2/3/4 layout)."""
+        runs = []
+        for prompt_mode in PROMPT_MODES:
+            for method in METHODS:
+                for model in MODEL_NAMES:
+                    runs.append(self.run(dataset, model, method, prompt_mode))
+        return runs
+
+    def run_all(self) -> list[MiningRun]:
+        """The full 24-cell grid across all three datasets."""
+        runs = []
+        for dataset in DATASET_NAMES:
+            runs.extend(self.run_dataset(dataset))
+        return runs

@@ -1,0 +1,37 @@
+"""Prompt templates and few-shot examples."""
+
+from repro.prompts.examples import (
+    FEW_SHOT_EXAMPLES,
+    example_kinds,
+    examples_text,
+)
+from repro.prompts.templates import (
+    CYPHER_TEMPLATE,
+    EXAMPLES_SECTION,
+    FEW_SHOT_TEMPLATE,
+    GRAPH_SECTION,
+    RULE_SECTION,
+    SCHEMA_SECTION,
+    TASK_SECTION,
+    ZERO_SHOT_TEMPLATE,
+    cypher_prompt,
+    few_shot_prompt,
+    zero_shot_prompt,
+)
+
+__all__ = [
+    "CYPHER_TEMPLATE",
+    "EXAMPLES_SECTION",
+    "FEW_SHOT_EXAMPLES",
+    "FEW_SHOT_TEMPLATE",
+    "GRAPH_SECTION",
+    "RULE_SECTION",
+    "SCHEMA_SECTION",
+    "TASK_SECTION",
+    "ZERO_SHOT_TEMPLATE",
+    "cypher_prompt",
+    "example_kinds",
+    "examples_text",
+    "few_shot_prompt",
+    "zero_shot_prompt",
+]

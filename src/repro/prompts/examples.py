@@ -1,0 +1,58 @@
+"""Few-shot rule examples (Figure 3b).
+
+The paper's few-shot prompt supplies generic example consistency rules so
+the LLM sees the *form* expected of it.  Examples are domain-neutral (a
+generic library graph) so they never leak dataset-specific vocabulary —
+the same hygiene the authors needed.
+
+Each example is tagged with its rule kind: the simulated LLM uses the
+kinds (not the content) to bias its proposal mix, reproducing the paper's
+observation that few-shot prompting raises confidence without changing
+the *type* of rules generated (§4.5).
+"""
+
+from __future__ import annotations
+
+from repro.rules.model import RuleKind
+
+#: (rule kind, example sentence) pairs shown in the few-shot prompt.
+FEW_SHOT_EXAMPLES: tuple[tuple[RuleKind, str], ...] = (
+    (
+        RuleKind.PROPERTY_EXISTS,
+        "Each Book node should have a title and isbn property.",
+    ),
+    (
+        RuleKind.UNIQUENESS,
+        "Each Book node should have a unique isbn property.",
+    ),
+    (
+        RuleKind.ENDPOINT,
+        "Every WROTE relationship should connect an Author node to a "
+        "Book node.",
+    ),
+    (
+        RuleKind.VALUE_DOMAIN,
+        "The format property of Book nodes should only be 'hardcover' "
+        "or 'paperback'.",
+    ),
+    (
+        RuleKind.MANDATORY_EDGE,
+        "Every Book node must have an incoming WROTE relationship from "
+        "an Author node.",
+    ),
+    (
+        RuleKind.TEMPORAL_ORDER,
+        "For every CITES relationship, the Paper node's published must "
+        "be later than the Paper node's published.",
+    ),
+)
+
+
+def examples_text() -> str:
+    """The example block inserted into the few-shot prompt."""
+    return "\n".join(sentence for _kind, sentence in FEW_SHOT_EXAMPLES)
+
+
+def example_kinds() -> tuple[RuleKind, ...]:
+    """Rule kinds represented in the examples (used to bias proposals)."""
+    return tuple(kind for kind, _sentence in FEW_SHOT_EXAMPLES)

@@ -1,0 +1,78 @@
+"""Prompt templates (Figure 3).
+
+Two rule-generation prompts — *zero-shot* and *few-shot* — plus the
+Cypher-generation prompt used in the pipeline's second step.  Section
+markers (``### Graph data:`` …) give the simulated LLM the same structure
+a real chat prompt would have and let :mod:`repro.llm.prompt_io` recover
+the encoded graph text from inside the prompt.
+"""
+
+from __future__ import annotations
+
+GRAPH_SECTION = "### Graph data:"
+EXAMPLES_SECTION = "### Examples of consistency rules:"
+TASK_SECTION = "### Task:"
+RULE_SECTION = "### Rule:"
+SCHEMA_SECTION = "### Property graph information:"
+
+_RULES_TASK = (
+    "Generate consistency rules for this property graph, in terms of "
+    "graph functional dependency and graph entity dependency rules. "
+    "Focus on constraints that should always hold: required properties, "
+    "key/uniqueness constraints, label and relationship structure, value "
+    "domains and temporal ordering. State each rule as exactly one "
+    "sentence on its own line."
+)
+
+ZERO_SHOT_TEMPLATE = f"""You are an expert in property graph data quality.
+Below is a property graph encoded as text.
+
+{GRAPH_SECTION}
+{{graph}}
+
+{TASK_SECTION}
+{_RULES_TASK}
+"""
+
+FEW_SHOT_TEMPLATE = f"""You are an expert in property graph data quality.
+Below is a property graph encoded as text.
+
+{GRAPH_SECTION}
+{{graph}}
+
+{EXAMPLES_SECTION}
+{{examples}}
+
+{TASK_SECTION}
+{_RULES_TASK}
+Follow the style of the examples above.
+"""
+
+CYPHER_TEMPLATE = f"""You are an expert in the Cypher query language.
+
+{RULE_SECTION}
+{{rule}}
+
+{SCHEMA_SECTION}
+{{schema}}
+
+{TASK_SECTION}
+Write the Cypher query matching the rule in natural language. The query
+should count the elements that satisfy the rule and return the count as
+'support'. Return only the query.
+"""
+
+
+def zero_shot_prompt(graph_text: str) -> str:
+    """Zero-shot rule-generation prompt over ``graph_text``."""
+    return ZERO_SHOT_TEMPLATE.format(graph=graph_text)
+
+
+def few_shot_prompt(graph_text: str, examples: str) -> str:
+    """Few-shot rule-generation prompt with example rules included."""
+    return FEW_SHOT_TEMPLATE.format(graph=graph_text, examples=examples)
+
+
+def cypher_prompt(rule_text: str, schema_summary: str) -> str:
+    """Second-step prompt: translate one NL rule into Cypher."""
+    return CYPHER_TEMPLATE.format(rule=rule_text, schema=schema_summary)

@@ -1,0 +1,26 @@
+"""Retrieval-augmented generation substrate: embeddings, store, retriever."""
+
+from repro.rag.embeddings import (
+    DEFAULT_DIMENSION,
+    HashedEmbedder,
+    cosine_similarity,
+)
+from repro.rag.retriever import (
+    DEFAULT_CHUNK_TOKENS,
+    DEFAULT_TOP_K,
+    GraphRetriever,
+    RetrievalResult,
+)
+from repro.rag.vectorstore import ScoredChunk, VectorStore
+
+__all__ = [
+    "DEFAULT_CHUNK_TOKENS",
+    "DEFAULT_DIMENSION",
+    "DEFAULT_TOP_K",
+    "GraphRetriever",
+    "HashedEmbedder",
+    "RetrievalResult",
+    "ScoredChunk",
+    "VectorStore",
+    "cosine_similarity",
+]

@@ -1,0 +1,104 @@
+"""In-memory vector store with cosine top-k retrieval."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rag.embeddings import HashedEmbedder
+
+
+@dataclass(frozen=True)
+class ScoredChunk:
+    """A retrieval hit: the chunk text, its id and the similarity score."""
+
+    chunk_id: int
+    text: str
+    score: float
+
+
+class VectorStore:
+    """Stores embedded text chunks; retrieves by cosine similarity.
+
+    Ties are broken by insertion order, making retrieval deterministic.
+    """
+
+    def __init__(self, embedder: HashedEmbedder | None = None) -> None:
+        self.embedder = embedder or HashedEmbedder()
+        self._texts: list[str] = []
+        self._matrix: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def add(self, texts: list[str]) -> None:
+        """Embed and index a batch of chunks."""
+        if not texts:
+            return
+        new_vectors = self.embedder.embed_many(texts)
+        if self._matrix is None:
+            self._matrix = new_vectors
+        else:
+            self._matrix = np.vstack([self._matrix, new_vectors])
+        self._texts.extend(texts)
+
+    def __len__(self) -> int:
+        return len(self._texts)
+
+    def retrieve(
+        self, query: str, top_k: int = 4, diversity: float = 0.0
+    ) -> list[ScoredChunk]:
+        """The ``top_k`` chunks most similar to ``query``.
+
+        ``diversity`` in (0, 1] enables maximal-marginal-relevance
+        selection: each pick maximises
+        ``(1 - diversity) * sim(query) - diversity * max sim(picked)``,
+        trading raw similarity for coverage of distinct graph regions —
+        the standard retriever setting in RAG frameworks.
+        """
+        if top_k <= 0 or self._matrix is None or not self._texts:
+            return []
+        query_vector = self.embedder.embed(query)
+        scores = self._matrix @ query_vector
+        if diversity <= 0.0:
+            order = sorted(
+                range(len(scores)), key=lambda i: (-scores[i], i)
+            )
+            picked = order[:top_k]
+        else:
+            picked = self._mmr(query_vector, scores, top_k, diversity)
+        return [
+            ScoredChunk(chunk_id=i, text=self._texts[i], score=float(scores[i]))
+            for i in picked
+        ]
+
+    def _mmr(
+        self,
+        query_vector: np.ndarray,
+        scores: np.ndarray,
+        top_k: int,
+        diversity: float,
+    ) -> list[int]:
+        remaining = sorted(
+            range(len(scores)), key=lambda i: (-scores[i], i)
+        )[: max(top_k * 4, 32)]  # MMR over a candidate pool, not everything
+        picked: list[int] = []
+        while remaining and len(picked) < top_k:
+            best = None
+            best_score = float("-inf")
+            for index in remaining:
+                redundancy = 0.0
+                if picked:
+                    redundancy = float(
+                        max(
+                            self._matrix[index] @ self._matrix[other]
+                            for other in picked
+                        )
+                    )
+                mmr = (1 - diversity) * float(scores[index]) \
+                    - diversity * redundancy
+                if mmr > best_score:
+                    best_score = mmr
+                    best = index
+            picked.append(best)
+            remaining.remove(best)
+        return picked

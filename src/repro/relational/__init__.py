@@ -1,0 +1,16 @@
+"""Relational-data bridge: tables ↔ property graphs ↔ SQL constraints."""
+
+from repro.relational.convert import database_to_graph, rule_to_sql
+from repro.relational.model import (
+    ForeignKey,
+    RelationalDatabase,
+    Table,
+)
+
+__all__ = [
+    "ForeignKey",
+    "RelationalDatabase",
+    "Table",
+    "database_to_graph",
+    "rule_to_sql",
+]

@@ -1,0 +1,115 @@
+"""Relational schema and instance model for the §5 bridge.
+
+"Although our approach is primarily designed for property graphs, it is
+also applicable to flat relational data.  Relational data can be seen as
+a graph structure, especially when organized following key-foreign key
+relationships."
+
+This module defines a minimal relational model — tables with typed
+columns, primary keys and foreign keys, plus row storage — that
+:mod:`repro.relational.convert` turns into a property graph the mining
+pipelines consume unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """One FK: ``column`` references ``target_table`` (its PK)."""
+
+    column: str
+    target_table: str
+    relationship: str | None = None   # edge label override
+
+    def edge_label(self) -> str:
+        if self.relationship:
+            return self.relationship
+        return f"REFS_{self.target_table.upper()}"
+
+
+@dataclass
+class Table:
+    """A named table with a primary key and optional foreign keys."""
+
+    name: str
+    columns: tuple[str, ...]
+    primary_key: str
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    rows: list[dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.primary_key not in self.columns:
+            raise ValueError(
+                f"primary key {self.primary_key!r} is not a column of "
+                f"{self.name!r}"
+            )
+        for fk in self.foreign_keys:
+            if fk.column not in self.columns:
+                raise ValueError(
+                    f"foreign key column {fk.column!r} is not a column "
+                    f"of {self.name!r}"
+                )
+
+    def insert(self, row: Mapping[str, object]) -> None:
+        """Add a row; unknown columns are rejected, missing ones null."""
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise ValueError(
+                f"unknown column(s) {sorted(unknown)} for table "
+                f"{self.name!r}"
+            )
+        self.rows.append({
+            column: row.get(column) for column in self.columns
+        })
+
+    def insert_many(self, rows: Iterable[Mapping[str, object]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+
+@dataclass
+class RelationalDatabase:
+    """A set of tables with referential structure."""
+
+    name: str
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    def add_table(self, table: Table) -> Table:
+        if table.name in self.tables:
+            raise ValueError(f"table {table.name!r} already exists")
+        self.tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"no table named {name!r}") from None
+
+    def validate_references(self) -> list[str]:
+        """Dangling FK values, as human-readable problem strings."""
+        problems: list[str] = []
+        for table in self.tables.values():
+            for fk in table.foreign_keys:
+                target = self.tables.get(fk.target_table)
+                if target is None:
+                    problems.append(
+                        f"{table.name}.{fk.column} references missing "
+                        f"table {fk.target_table!r}"
+                    )
+                    continue
+                known = {
+                    row[target.primary_key] for row in target.rows
+                }
+                for row in table.rows:
+                    value = row.get(fk.column)
+                    if value is not None and value not in known:
+                        problems.append(
+                            f"{table.name}.{fk.column}={value!r} has no "
+                            f"match in {fk.target_table}"
+                        )
+        return problems

@@ -1,0 +1,17 @@
+"""Rule-driven repair: compile violations into Cypher write queries."""
+
+from repro.repair.engine import (
+    QUARANTINE_KEY,
+    RepairAction,
+    RepairEngine,
+    RepairPlan,
+    RepairReport,
+)
+
+__all__ = [
+    "QUARANTINE_KEY",
+    "RepairAction",
+    "RepairEngine",
+    "RepairPlan",
+    "RepairReport",
+]

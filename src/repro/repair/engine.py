@@ -1,0 +1,376 @@
+"""Rule-driven repair: turn violations into Cypher write queries.
+
+The pipeline's end product is a set of consistency rules with known
+violations; the natural next step for a data steward is to *enforce*
+them.  The :class:`RepairEngine` compiles each rule into bulk repair
+queries using the Cypher write clauses (CREATE / SET / DELETE / REMOVE),
+applies them, and re-scores the rule so the improvement is measurable.
+
+Repair policies per rule kind:
+
+==================  =================================================
+Kind                Default repair
+==================  =================================================
+PROPERTY_EXISTS     SET the missing property to a configured default,
+                    or quarantine when no default is given
+EDGE_PROP_EXISTS    quarantine the relationship's source node
+UNIQUENESS          quarantine every node in a colliding group
+PRIMARY_KEY         quarantine colliding nodes within their scope
+VALUE_DOMAIN        quarantine nodes with out-of-domain values
+VALUE_FORMAT        quarantine nodes with malformed values
+ENDPOINT            DELETE mistyped relationships
+MANDATORY_EDGE      quarantine unconnected nodes
+NO_SELF_LOOP        DELETE the self-loops
+TEMPORAL_ORDER      DELETE causality-violating relationships
+TEMPORAL_UNIQUE     quarantine the colliding endpoints
+PATTERN             quarantine nodes whose two-hop closure is missing
+==================  =================================================
+
+"Quarantine" sets ``_quarantined = true`` on the offending element so a
+human can review it — destructive deletes are reserved for structurally
+impossible edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cypher.executor import execute
+from repro.cypher.render import render_literal
+from repro.graph.schema import GraphSchema
+from repro.graph.store import PropertyGraph
+from repro.metrics.definitions import RuleMetrics
+from repro.metrics.evaluator import evaluate_rule
+from repro.rules.model import ConsistencyRule, RuleKind
+from repro.rules.translator import RuleTranslator, UntranslatableRuleError
+
+QUARANTINE_KEY = "_quarantined"
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One compiled repair step."""
+
+    description: str
+    query: str
+    destructive: bool   # True when the action deletes elements
+
+
+@dataclass
+class RepairPlan:
+    rule: ConsistencyRule
+    actions: list[RepairAction] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.actions
+
+
+@dataclass
+class RepairReport:
+    """What one applied plan did, with before/after scores."""
+
+    rule: ConsistencyRule
+    applied: list[RepairAction]
+    stats: dict[str, int]
+    metrics_before: Optional[RuleMetrics]
+    metrics_after: Optional[RuleMetrics]
+
+    @property
+    def confidence_gain(self) -> float:
+        if self.metrics_before is None or self.metrics_after is None:
+            return 0.0
+        return (self.metrics_after.confidence
+                - self.metrics_before.confidence)
+
+
+class RepairEngine:
+    """Compiles and applies repairs for consistency rules."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        schema: GraphSchema,
+        defaults: dict[tuple[str, str], object] | None = None,
+        allow_destructive: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.schema = schema
+        self.defaults = defaults or {}
+        self.allow_destructive = allow_destructive
+        self.translator = RuleTranslator(schema)
+
+    # ------------------------------------------------------------------
+    def plan(self, rule: ConsistencyRule) -> RepairPlan:
+        """Compile ``rule`` into repair actions (no side effects)."""
+        handler = {
+            RuleKind.PROPERTY_EXISTS: self._plan_property_exists,
+            RuleKind.EDGE_PROP_EXISTS: self._plan_edge_prop_exists,
+            RuleKind.UNIQUENESS: self._plan_uniqueness,
+            RuleKind.PRIMARY_KEY: self._plan_primary_key,
+            RuleKind.VALUE_DOMAIN: self._plan_value_rule,
+            RuleKind.VALUE_FORMAT: self._plan_value_rule,
+            RuleKind.ENDPOINT: self._plan_endpoint,
+            RuleKind.MANDATORY_EDGE: self._plan_mandatory_edge,
+            RuleKind.NO_SELF_LOOP: self._plan_no_self_loop,
+            RuleKind.TEMPORAL_ORDER: self._plan_temporal_order,
+            RuleKind.TEMPORAL_UNIQUE: self._plan_temporal_unique,
+            RuleKind.PATTERN: self._plan_pattern,
+        }.get(rule.kind)
+        plan = RepairPlan(rule=rule)
+        if handler is not None:
+            try:
+                plan.actions.extend(handler(rule))
+            except (KeyError, IndexError, TypeError):
+                pass
+        if not self.allow_destructive:
+            plan.actions = [
+                action for action in plan.actions if not action.destructive
+            ]
+        return plan
+
+    def apply(self, plan: RepairPlan) -> RepairReport:
+        """Execute a plan's queries and re-score the rule."""
+        metrics_before = self._score(plan.rule)
+        stats: dict[str, int] = {}
+        applied: list[RepairAction] = []
+        for action in plan.actions:
+            result = execute(self.graph, action.query)
+            applied.append(action)
+            for key, value in result.stats.items():
+                stats[key] = stats.get(key, 0) + value
+        metrics_after = self._score(plan.rule)
+        return RepairReport(
+            rule=plan.rule, applied=applied, stats=stats,
+            metrics_before=metrics_before, metrics_after=metrics_after,
+        )
+
+    def repair(self, rule: ConsistencyRule) -> RepairReport:
+        """plan + apply in one call."""
+        return self.apply(self.plan(rule))
+
+    def _score(self, rule: ConsistencyRule) -> Optional[RuleMetrics]:
+        try:
+            return evaluate_rule(self.graph, self.translator.translate(rule))
+        except UntranslatableRuleError:
+            return None
+
+    # ------------------------------------------------------------------
+    # per-kind planners
+    # ------------------------------------------------------------------
+    def _quarantine_nodes(self, pattern: str, where: str,
+                          what: str) -> RepairAction:
+        return RepairAction(
+            description=f"quarantine {what}",
+            query=(
+                f"MATCH {pattern} WHERE {where} "
+                f"SET n.{QUARANTINE_KEY} = true"
+            ),
+            destructive=False,
+        )
+
+    def _plan_property_exists(self, rule):
+        actions = []
+        for key in rule.properties:
+            default = self.defaults.get((rule.label, key))
+            if default is not None:
+                actions.append(RepairAction(
+                    description=(
+                        f"set missing {rule.label}.{key} to the default"
+                    ),
+                    query=(
+                        f"MATCH (n:{rule.label}) WHERE n.{key} IS NULL "
+                        f"SET n.{key} = {render_literal(default)}"
+                    ),
+                    destructive=False,
+                ))
+            else:
+                actions.append(self._quarantine_nodes(
+                    f"(n:{rule.label})", f"n.{key} IS NULL",
+                    f"{rule.label} nodes missing {key}",
+                ))
+        return actions
+
+    def _plan_edge_prop_exists(self, rule):
+        key = rule.properties[0]
+        return [RepairAction(
+            description=(
+                f"quarantine sources of {rule.edge_label} edges "
+                f"missing {key}"
+            ),
+            query=(
+                f"MATCH (n)-[r:{rule.edge_label}]->() "
+                f"WHERE r.{key} IS NULL "
+                f"SET n.{QUARANTINE_KEY} = true"
+            ),
+            destructive=False,
+        )]
+
+    def _plan_uniqueness(self, rule):
+        key = rule.properties[0]
+        return [RepairAction(
+            description=(
+                f"quarantine {rule.label} nodes sharing a {key} value"
+            ),
+            query=(
+                f"MATCH (n:{rule.label}) WHERE n.{key} IS NOT NULL "
+                f"WITH n.{key} AS value, collect(n) AS group "
+                "WHERE size(group) > 1 "
+                "UNWIND group AS m "
+                f"SET m.{QUARANTINE_KEY} = true"
+            ),
+            destructive=False,
+        )]
+
+    def _plan_primary_key(self, rule):
+        key = rule.properties[0]
+        src, dst = self.translator._oriented(
+            rule.label, rule.scope_edge_label, rule.scope_label
+        )
+        if src == rule.label:
+            pattern = (
+                f"(m:{rule.label})-[:{rule.scope_edge_label}]->"
+                f"(s:{rule.scope_label})"
+            )
+        else:
+            pattern = (
+                f"(m:{rule.label})<-[:{rule.scope_edge_label}]-"
+                f"(s:{rule.scope_label})"
+            )
+        return [RepairAction(
+            description=(
+                f"quarantine {rule.label} nodes whose {key} collides "
+                f"within a {rule.scope_label}"
+            ),
+            query=(
+                f"MATCH {pattern} "
+                f"WITH s, m.{key} AS value, collect(m) AS group "
+                "WHERE size(group) > 1 "
+                "UNWIND group AS n "
+                f"SET n.{QUARANTINE_KEY} = true"
+            ),
+            destructive=False,
+        )]
+
+    def _plan_value_rule(self, rule):
+        key = rule.properties[0]
+        if rule.kind is RuleKind.VALUE_DOMAIN:
+            values = ", ".join(
+                render_literal(value) for value in rule.allowed_values
+            )
+            predicate = f"NOT n.{key} IN [{values}]"
+            what = f"{rule.label} nodes with out-of-domain {key}"
+        else:
+            regex = render_literal(rule.pattern_regex)
+            predicate = f"NOT n.{key} =~ {regex}"
+            what = f"{rule.label} nodes with malformed {key}"
+        return [self._quarantine_nodes(
+            f"(n:{rule.label})",
+            f"n.{key} IS NOT NULL AND {predicate}",
+            what,
+        )]
+
+    def _plan_endpoint(self, rule):
+        return [RepairAction(
+            description=(
+                f"delete {rule.edge_label} edges not connecting "
+                f"{rule.src_label} to {rule.dst_label}"
+            ),
+            query=(
+                f"MATCH (a)-[r:{rule.edge_label}]->(b) "
+                f"WHERE NOT (a:{rule.src_label} AND b:{rule.dst_label}) "
+                "DELETE r"
+            ),
+            destructive=True,
+        )]
+
+    def _plan_mandatory_edge(self, rule):
+        if rule.src_label == rule.label:
+            exists = (
+                f"(n)-[:{rule.edge_label}]->(:{rule.dst_label})"
+            )
+        else:
+            exists = (
+                f"(n)<-[:{rule.edge_label}]-(:{rule.src_label})"
+            )
+        return [self._quarantine_nodes(
+            f"(n:{rule.label})", f"NOT {exists}",
+            f"{rule.label} nodes without a {rule.edge_label} edge",
+        )]
+
+    def _plan_no_self_loop(self, rule):
+        label = f":{rule.label}" if rule.label else ""
+        return [RepairAction(
+            description=f"delete {rule.edge_label} self-loops",
+            query=(
+                f"MATCH (a{label})-[r:{rule.edge_label}]->(b{label}) "
+                "WHERE a = b DELETE r"
+            ),
+            destructive=True,
+        )]
+
+    def _plan_temporal_order(self, rule):
+        key = rule.time_property
+        return [RepairAction(
+            description=(
+                f"delete {rule.edge_label} edges violating "
+                f"{key} ordering"
+            ),
+            query=(
+                f"MATCH (a:{rule.src_label})-[r:{rule.edge_label}]->"
+                f"(b:{rule.dst_label}) "
+                f"WHERE a.{key} IS NOT NULL AND b.{key} IS NOT NULL "
+                f"AND a.{key} < b.{key} DELETE r"
+            ),
+            destructive=True,
+        )]
+
+    def _plan_temporal_unique(self, rule):
+        key = rule.time_property
+        src = f":{rule.src_label}" if rule.src_label else ""
+        dst = f":{rule.dst_label}" if rule.dst_label else ""
+        return [RepairAction(
+            description=(
+                f"quarantine endpoints of colliding {rule.edge_label} "
+                f"edges (same {key})"
+            ),
+            query=(
+                f"MATCH (a{src})-[r:{rule.edge_label}]->(b{dst}) "
+                f"WHERE r.{key} IS NOT NULL "
+                f"WITH a, b, r.{key} AS moment, collect(r) AS group "
+                "WHERE size(group) > 1 "
+                f"SET a.{QUARANTINE_KEY} = true"
+            ),
+            destructive=False,
+        )]
+
+    def _plan_pattern(self, rule):
+        src1, _dst1 = self.translator._oriented(
+            rule.label, rule.edge_label, rule.dst_label
+        )
+        hop1 = (
+            f"(n:{rule.label})-[:{rule.edge_label}]->(m:{rule.dst_label})"
+            if src1 == rule.label
+            else f"(n:{rule.label})<-[:{rule.edge_label}]-"
+                 f"(m:{rule.dst_label})"
+        )
+        src2, _dst2 = self.translator._oriented(
+            rule.dst_label, rule.scope_edge_label, rule.scope_label
+        )
+        closure = (
+            f"(m)-[:{rule.scope_edge_label}]->(:{rule.scope_label})"
+            if src2 == rule.dst_label
+            else f"(m)<-[:{rule.scope_edge_label}]-(:{rule.scope_label})"
+        )
+        return [RepairAction(
+            description=(
+                f"quarantine {rule.dst_label} nodes missing their "
+                f"{rule.scope_edge_label} closure"
+            ),
+            query=(
+                f"MATCH {hop1} WHERE NOT {closure} "
+                f"SET m.{QUARANTINE_KEY} = true"
+            ),
+            destructive=False,
+        )]

@@ -1,0 +1,85 @@
+"""Cross-window rule deduplication and merging.
+
+The sliding-window pipeline prompts the LLM once per window and then
+"the rules generated from each window are combined to create a
+comprehensive set of rules that apply to the entire graph" (§3.1.1).
+Combination means: drop exact duplicates (same signature), and merge
+PROPERTY_EXISTS rules over the same label into one multi-property rule
+when requested (the paper's example rule covers *date and stage* at once).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.rules.model import ConsistencyRule, RuleKind, RuleSet
+from repro.rules.nl import to_natural_language
+
+
+def deduplicate(rules: list[ConsistencyRule]) -> list[ConsistencyRule]:
+    """Drop rules whose signature repeats; first occurrence wins."""
+    ruleset = RuleSet()
+    ruleset.extend(rules)
+    return list(ruleset)
+
+
+def merge_property_exists(
+    rules: list[ConsistencyRule],
+) -> list[ConsistencyRule]:
+    """Fuse same-label PROPERTY_EXISTS rules into multi-property rules.
+
+    Other rules pass through unchanged, keeping their relative order at
+    the position of the first fused member.
+    """
+    by_label: dict[str, list[ConsistencyRule]] = defaultdict(list)
+    for rule in rules:
+        if rule.kind is RuleKind.PROPERTY_EXISTS and rule.label:
+            by_label[rule.label].append(rule)
+
+    fused: dict[str, ConsistencyRule] = {}
+    for label, members in by_label.items():
+        if len(members) == 1:
+            fused[label] = members[0]
+            continue
+        properties = tuple(
+            dict.fromkeys(
+                key for member in members for key in member.properties
+            )
+        )
+        merged = ConsistencyRule(
+            kind=RuleKind.PROPERTY_EXISTS,
+            text="",
+            label=label,
+            properties=properties,
+            provenance=members[0].provenance,
+        )
+        fused[label] = ConsistencyRule(
+            kind=merged.kind,
+            text=to_natural_language(merged),
+            label=merged.label,
+            properties=merged.properties,
+            provenance=merged.provenance,
+        )
+
+    output: list[ConsistencyRule] = []
+    emitted: set[str] = set()
+    for rule in rules:
+        if rule.kind is RuleKind.PROPERTY_EXISTS and rule.label in fused:
+            if rule.label not in emitted:
+                emitted.add(rule.label)
+                output.append(fused[rule.label])
+            continue
+        output.append(rule)
+    return output
+
+
+def combine_window_rules(
+    per_window: list[list[ConsistencyRule]],
+    merge_existence: bool = True,
+) -> list[ConsistencyRule]:
+    """The §3.1.1 combination step: concatenate, dedup, optionally merge."""
+    flat = [rule for window in per_window for rule in window]
+    unique = deduplicate(flat)
+    if merge_existence:
+        unique = merge_property_exists(unique)
+    return unique

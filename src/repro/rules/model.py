@@ -1,0 +1,153 @@
+"""Consistency-rule model.
+
+The study asks LLMs for rules "in terms of graph functional and entity
+dependency rules" but observes (§4.5) that what comes back is mostly
+schema-level constraints, with occasional temporal and multi-hop pattern
+rules.  This taxonomy covers every rule type the paper reports:
+
+================  ====================================================
+Kind              Paper example
+================  ====================================================
+PROPERTY_EXISTS   "Each Match node should have a date and stage property"
+UNIQUENESS        "Each tweet node should have a unique id property"
+PRIMARY_KEY       "Unique Match identifier within a Tournament"
+VALUE_DOMAIN      "The owned property should only be True or False"
+VALUE_FORMAT      "The domain property should … match domain format"
+ENDPOINT          "POSTS edges must connect a User to a Tweet"
+MANDATORY_EDGE    "Every tweet must be associated with a valid user"
+NO_SELF_LOOP      "Users cannot follow themselves"
+TEMPORAL_ORDER    "A retweet can occur only after the original tweet"
+TEMPORAL_UNIQUE   "A player cannot score two goals in the same minute
+                   of the same match"
+PATTERN           "A player should be associated with a squad, and that
+                   squad should belong to the tournament for which the
+                   player has played a match"
+EDGE_PROP_EXISTS  "Each SCORED_GOAL relationship should have a minute"
+================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class RuleKind(Enum):
+    """Taxonomy of consistency rules the pipeline can mine."""
+
+    PROPERTY_EXISTS = "property_exists"
+    UNIQUENESS = "uniqueness"
+    PRIMARY_KEY = "primary_key"
+    VALUE_DOMAIN = "value_domain"
+    VALUE_FORMAT = "value_format"
+    ENDPOINT = "endpoint"
+    MANDATORY_EDGE = "mandatory_edge"
+    NO_SELF_LOOP = "no_self_loop"
+    TEMPORAL_ORDER = "temporal_order"
+    TEMPORAL_UNIQUE = "temporal_unique"
+    PATTERN = "pattern"
+    EDGE_PROP_EXISTS = "edge_prop_exists"
+
+
+#: Kinds the paper calls "simple" (schema-based) vs "complex".
+SIMPLE_KINDS = frozenset({
+    RuleKind.PROPERTY_EXISTS,
+    RuleKind.UNIQUENESS,
+    RuleKind.VALUE_DOMAIN,
+    RuleKind.VALUE_FORMAT,
+    RuleKind.ENDPOINT,
+    RuleKind.EDGE_PROP_EXISTS,
+})
+
+COMPLEX_KINDS = frozenset({
+    RuleKind.PRIMARY_KEY,
+    RuleKind.MANDATORY_EDGE,
+    RuleKind.NO_SELF_LOOP,
+    RuleKind.TEMPORAL_ORDER,
+    RuleKind.TEMPORAL_UNIQUE,
+    RuleKind.PATTERN,
+})
+
+
+@dataclass(frozen=True)
+class ConsistencyRule:
+    """One mined consistency rule.
+
+    The typed fields below parameterise every kind in the taxonomy; which
+    fields are meaningful depends on ``kind`` (see
+    :meth:`signature` and the translator).  ``text`` is the natural-language
+    statement, which is what an LLM actually emits.
+    """
+
+    kind: RuleKind
+    text: str
+    label: Optional[str] = None            # primary node label
+    properties: tuple[str, ...] = ()       # property key(s) concerned
+    edge_label: Optional[str] = None       # relationship type concerned
+    src_label: Optional[str] = None        # endpoint rules
+    dst_label: Optional[str] = None
+    allowed_values: tuple = ()             # VALUE_DOMAIN
+    pattern_regex: Optional[str] = None    # VALUE_FORMAT
+    scope_edge_label: Optional[str] = None  # PRIMARY_KEY scope, PATTERN hop 2
+    scope_label: Optional[str] = None       # PRIMARY_KEY scoping node label
+    time_property: Optional[str] = None    # TEMPORAL rules
+    provenance: str = ""                   # e.g. "llama3/window-3"
+
+    def signature(self) -> tuple:
+        """Identity of the rule *content*, ignoring text and provenance.
+
+        Two rules with the same signature are duplicates even when the
+        LLM phrased them differently or found them in different windows.
+        """
+        return (
+            self.kind,
+            self.label,
+            tuple(sorted(self.properties)),
+            self.edge_label,
+            self.src_label,
+            self.dst_label,
+            tuple(self.allowed_values),
+            self.pattern_regex,
+            self.scope_edge_label,
+            self.scope_label,
+            self.time_property,
+        )
+
+    @property
+    def is_complex(self) -> bool:
+        return self.kind in COMPLEX_KINDS
+
+    def describe(self) -> str:
+        return f"[{self.kind.value}] {self.text}"
+
+
+@dataclass
+class RuleSet:
+    """A deduplicated, order-preserving collection of rules."""
+
+    rules: list[ConsistencyRule] = field(default_factory=list)
+
+    def add(self, rule: ConsistencyRule) -> bool:
+        """Add ``rule`` unless an equivalent rule is present."""
+        signature = rule.signature()
+        if any(existing.signature() == signature for existing in self.rules):
+            return False
+        self.rules.append(rule)
+        return True
+
+    def extend(self, rules: list[ConsistencyRule]) -> int:
+        """Add many rules; returns how many were new."""
+        return sum(1 for rule in rules if self.add(rule))
+
+    def by_kind(self, kind: RuleKind) -> list[ConsistencyRule]:
+        return [rule for rule in self.rules if rule.kind == kind]
+
+    def complex_rules(self) -> list[ConsistencyRule]:
+        return [rule for rule in self.rules if rule.is_complex]
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)

@@ -1,0 +1,91 @@
+"""Render mined rules as Neo4j 5 constraint DDL.
+
+Neo4j can natively *enforce* a subset of the rule taxonomy via schema
+constraints; for those kinds the library emits ready-to-run
+``CREATE CONSTRAINT`` statements, so a rule mined here can be installed
+on a production database.  Kinds outside Neo4j's constraint language
+fall back to the check query, packaged as a comment block suitable for a
+scheduled quality job.
+"""
+
+from __future__ import annotations
+
+from repro.rules.model import ConsistencyRule, RuleKind
+from repro.rules.translator import MetricQueries
+
+
+def _constraint_name(rule: ConsistencyRule, suffix: str) -> str:
+    base = (rule.label or rule.edge_label or "rule").lower()
+    keys = "_".join(rule.properties) if rule.properties else suffix
+    return f"{base}_{keys}_{suffix}"
+
+
+def rule_to_neo4j_ddl(rule: ConsistencyRule) -> str | None:
+    """A ``CREATE CONSTRAINT`` statement for ``rule``, or None.
+
+    Covered kinds: UNIQUENESS (uniqueness constraint), PROPERTY_EXISTS
+    (node property existence), EDGE_PROP_EXISTS (relationship property
+    existence).  Other kinds have no Neo4j constraint counterpart.
+    """
+    if rule.kind is RuleKind.UNIQUENESS and rule.label:
+        key = rule.properties[0]
+        name = _constraint_name(rule, "unique")
+        return (
+            f"CREATE CONSTRAINT {name} IF NOT EXISTS "
+            f"FOR (n:{rule.label}) REQUIRE n.{key} IS UNIQUE;"
+        )
+    if rule.kind is RuleKind.PROPERTY_EXISTS and rule.label:
+        statements = []
+        for key in rule.properties:
+            name = f"{rule.label.lower()}_{key}_exists"
+            statements.append(
+                f"CREATE CONSTRAINT {name} IF NOT EXISTS "
+                f"FOR (n:{rule.label}) REQUIRE n.{key} IS NOT NULL;"
+            )
+        return "\n".join(statements)
+    if rule.kind is RuleKind.EDGE_PROP_EXISTS and rule.edge_label:
+        statements = []
+        for key in rule.properties:
+            name = f"{rule.edge_label.lower()}_{key}_exists"
+            statements.append(
+                f"CREATE CONSTRAINT {name} IF NOT EXISTS "
+                f"FOR ()-[r:{rule.edge_label}]-() "
+                f"REQUIRE r.{key} IS NOT NULL;"
+            )
+        return "\n".join(statements)
+    return None
+
+
+def rule_to_quality_check(
+    rule: ConsistencyRule, queries: MetricQueries
+) -> str:
+    """A commented quality-check block for kinds Neo4j cannot enforce."""
+    header = f"// consistency rule: {rule.text}"
+    violations = queries.violations or queries.check
+    return f"{header}\n// expected result: no rows\n{violations};"
+
+
+def export_rules(
+    rules_with_queries: list[tuple[ConsistencyRule, MetricQueries]],
+) -> str:
+    """Render a full export: constraints first, checks after."""
+    constraints: list[str] = []
+    checks: list[str] = []
+    for rule, queries in rules_with_queries:
+        ddl = rule_to_neo4j_ddl(rule)
+        if ddl is not None:
+            constraints.append(ddl)
+        else:
+            checks.append(rule_to_quality_check(rule, queries))
+    sections = []
+    if constraints:
+        sections.append(
+            "// --- enforceable as Neo4j constraints ---\n"
+            + "\n".join(constraints)
+        )
+    if checks:
+        sections.append(
+            "// --- scheduled quality checks (no constraint "
+            "counterpart) ---\n" + "\n\n".join(checks)
+        )
+    return "\n\n".join(sections)

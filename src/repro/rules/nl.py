@@ -1,0 +1,348 @@
+"""Natural-language rendering and parsing of consistency rules.
+
+The pipeline's contract (Figure 1) is that rules travel between the two
+LLM calls *as natural language* — "this two-step procedure can ensure
+clarity to those who may not be familiar with Cypher".  This module
+defines the canonical English phrasing for every rule kind (used by the
+simulated LLM when it emits rules) and the inverse parser (used by the
+pipeline when it reads completions back).  The phrasing follows the
+paper's own examples, e.g. *"Each match node should have a date and stage
+property"* or *"The owned property should only be True or False"*.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.rules.model import ConsistencyRule, RuleKind
+
+
+def _join_names(names: tuple[str, ...]) -> str:
+    if len(names) == 1:
+        return names[0]
+    return ", ".join(names[:-1]) + " and " + names[-1]
+
+
+def _split_names(text: str) -> tuple[str, ...]:
+    parts = re.split(r",\s*|\s+and\s+", text.strip())
+    return tuple(part for part in parts if part)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "True" if value else "False"
+    if isinstance(value, str):
+        return f"'{value}'"
+    return str(value)
+
+
+def _parse_value(text: str) -> object:
+    text = text.strip()
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    if text.startswith("'") and text.endswith("'"):
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def to_natural_language(rule: ConsistencyRule) -> str:
+    """Render ``rule`` as one canonical English sentence."""
+    kind = rule.kind
+    if kind is RuleKind.PROPERTY_EXISTS:
+        return (
+            f"Each {rule.label} node should have a "
+            f"{_join_names(rule.properties)} property."
+        )
+    if kind is RuleKind.EDGE_PROP_EXISTS:
+        return (
+            f"Each {rule.edge_label} relationship should have a "
+            f"{_join_names(rule.properties)} property."
+        )
+    if kind is RuleKind.UNIQUENESS:
+        return (
+            f"Each {rule.label} node should have a unique "
+            f"{rule.properties[0]} property."
+        )
+    if kind is RuleKind.PRIMARY_KEY:
+        return (
+            f"The {rule.properties[0]} property of {rule.label} nodes "
+            f"must be unique within a {rule.scope_label} "
+            f"(via {rule.scope_edge_label})."
+        )
+    if kind is RuleKind.VALUE_DOMAIN:
+        values = " or ".join(
+            _format_value(value) for value in rule.allowed_values
+        )
+        return (
+            f"The {rule.properties[0]} property of {rule.label} nodes "
+            f"should only be {values}."
+        )
+    if kind is RuleKind.VALUE_FORMAT:
+        return (
+            f"The {rule.properties[0]} property of {rule.label} nodes "
+            f"should be a string value matching the format "
+            f"'{rule.pattern_regex}'."
+        )
+    if kind is RuleKind.ENDPOINT:
+        return (
+            f"Every {rule.edge_label} relationship should connect a "
+            f"{rule.src_label} node to a {rule.dst_label} node."
+        )
+    if kind is RuleKind.MANDATORY_EDGE:
+        if rule.src_label == rule.label:
+            return (
+                f"Every {rule.label} node must have an outgoing "
+                f"{rule.edge_label} relationship to a {rule.dst_label} node."
+            )
+        return (
+            f"Every {rule.label} node must have an incoming "
+            f"{rule.edge_label} relationship from a {rule.src_label} node."
+        )
+    if kind is RuleKind.NO_SELF_LOOP:
+        subject = f"A {rule.label} node" if rule.label else "A node"
+        return (
+            f"{subject} cannot have a {rule.edge_label} relationship "
+            "to itself."
+        )
+    if kind is RuleKind.TEMPORAL_ORDER:
+        return (
+            f"For every {rule.edge_label} relationship, the "
+            f"{rule.src_label} node's {rule.time_property} must be later "
+            f"than the {rule.dst_label} node's {rule.time_property}."
+        )
+    if kind is RuleKind.TEMPORAL_UNIQUE:
+        src = rule.src_label or "node"
+        dst = rule.dst_label or "node"
+        return (
+            f"No two {rule.edge_label} relationships between the same "
+            f"{src} and {dst} should have the same "
+            f"{rule.time_property} property."
+        )
+    if kind is RuleKind.PATTERN:
+        return (
+            f"Each {rule.label} connected to a {rule.dst_label} via "
+            f"{rule.edge_label} requires that the {rule.dst_label} is "
+            f"linked to a {rule.scope_label} via {rule.scope_edge_label}."
+        )
+    raise ValueError(f"no phrasing for rule kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+_NAME = r"[A-Za-z_][A-Za-z0-9_]*"
+_NAMES = r"[A-Za-z0-9_,\s]+?"
+_PARSERS: list[tuple[re.Pattern, RuleKind]] = [
+    (
+        re.compile(
+            rf"^Each ({_NAME}) node should have a unique ({_NAME}) property\.$"
+        ),
+        RuleKind.UNIQUENESS,
+    ),
+    (
+        re.compile(
+            rf"^Each ({_NAME}) node should have a ({_NAMES}) property\.$"
+        ),
+        RuleKind.PROPERTY_EXISTS,
+    ),
+    (
+        re.compile(
+            rf"^Each ({_NAME}) relationship should have a ({_NAMES}) "
+            r"property\.$"
+        ),
+        RuleKind.EDGE_PROP_EXISTS,
+    ),
+    (
+        re.compile(
+            rf"^The ({_NAME}) property of ({_NAME}) nodes must be unique "
+            rf"within a ({_NAME}) \(via ({_NAME})\)\.$"
+        ),
+        RuleKind.PRIMARY_KEY,
+    ),
+    (
+        re.compile(
+            rf"^The ({_NAME}) property of ({_NAME}) nodes should only be "
+            r"(.+)\.$"
+        ),
+        RuleKind.VALUE_DOMAIN,
+    ),
+    (
+        re.compile(
+            rf"^The ({_NAME}) property of ({_NAME}) nodes should be a "
+            r"string value matching the format '(.+)'\.$"
+        ),
+        RuleKind.VALUE_FORMAT,
+    ),
+    (
+        re.compile(
+            rf"^Every ({_NAME}) relationship should connect a ({_NAME}) "
+            rf"node to a ({_NAME}) node\.$"
+        ),
+        RuleKind.ENDPOINT,
+    ),
+    (
+        re.compile(
+            rf"^Every ({_NAME}) node must have an (outgoing|incoming) "
+            rf"({_NAME}) relationship (?:to|from) a ({_NAME}) node\.$"
+        ),
+        RuleKind.MANDATORY_EDGE,
+    ),
+    (
+        re.compile(
+            rf"^A (?:({_NAME}) )?node cannot have a ({_NAME}) relationship "
+            r"to itself\.$"
+        ),
+        RuleKind.NO_SELF_LOOP,
+    ),
+    (
+        re.compile(
+            rf"^For every ({_NAME}) relationship, the ({_NAME}) node's "
+            rf"({_NAME}) must be later than the ({_NAME}) node's "
+            rf"({_NAME})\.$"
+        ),
+        RuleKind.TEMPORAL_ORDER,
+    ),
+    (
+        re.compile(
+            rf"^No two ({_NAME}) relationships between the same ({_NAME}) "
+            rf"and ({_NAME}) should have the same ({_NAME}) property\.$"
+        ),
+        RuleKind.TEMPORAL_UNIQUE,
+    ),
+    (
+        re.compile(
+            rf"^Each ({_NAME}) connected to a ({_NAME}) via ({_NAME}) "
+            rf"requires that the ({_NAME}) is linked to a ({_NAME}) via "
+            rf"({_NAME})\.$"
+        ),
+        RuleKind.PATTERN,
+    ),
+]
+
+
+def from_natural_language(
+    sentence: str, provenance: str = ""
+) -> Optional[ConsistencyRule]:
+    """Parse one sentence back into a rule; None if no template matches."""
+    text = sentence.strip()
+    for pattern, kind in _PARSERS:
+        match = pattern.match(text)
+        if match is None:
+            continue
+        groups = match.groups()
+        if kind is RuleKind.UNIQUENESS:
+            return ConsistencyRule(
+                kind=kind, text=text, label=groups[0],
+                properties=(groups[1],), provenance=provenance,
+            )
+        if kind is RuleKind.PROPERTY_EXISTS:
+            return ConsistencyRule(
+                kind=kind, text=text, label=groups[0],
+                properties=_split_names(groups[1]), provenance=provenance,
+            )
+        if kind is RuleKind.EDGE_PROP_EXISTS:
+            return ConsistencyRule(
+                kind=kind, text=text, edge_label=groups[0],
+                properties=_split_names(groups[1]), provenance=provenance,
+            )
+        if kind is RuleKind.PRIMARY_KEY:
+            return ConsistencyRule(
+                kind=kind, text=text, label=groups[1],
+                properties=(groups[0],), scope_label=groups[2],
+                scope_edge_label=groups[3], provenance=provenance,
+            )
+        if kind is RuleKind.VALUE_DOMAIN:
+            values = tuple(
+                _parse_value(part) for part in groups[2].split(" or ")
+            )
+            return ConsistencyRule(
+                kind=kind, text=text, label=groups[1],
+                properties=(groups[0],), allowed_values=values,
+                provenance=provenance,
+            )
+        if kind is RuleKind.VALUE_FORMAT:
+            return ConsistencyRule(
+                kind=kind, text=text, label=groups[1],
+                properties=(groups[0],), pattern_regex=groups[2],
+                provenance=provenance,
+            )
+        if kind is RuleKind.ENDPOINT:
+            return ConsistencyRule(
+                kind=kind, text=text, edge_label=groups[0],
+                src_label=groups[1], dst_label=groups[2],
+                provenance=provenance,
+            )
+        if kind is RuleKind.MANDATORY_EDGE:
+            label, direction, edge, other = groups
+            if direction == "outgoing":
+                src, dst = label, other
+            else:
+                src, dst = other, label
+            return ConsistencyRule(
+                kind=kind, text=text, label=label, edge_label=edge,
+                src_label=src, dst_label=dst, provenance=provenance,
+            )
+        if kind is RuleKind.NO_SELF_LOOP:
+            return ConsistencyRule(
+                kind=kind, text=text, label=groups[0],
+                edge_label=groups[1], provenance=provenance,
+            )
+        if kind is RuleKind.TEMPORAL_ORDER:
+            edge, src, time_property, dst, _time2 = groups
+            return ConsistencyRule(
+                kind=kind, text=text, edge_label=edge, src_label=src,
+                dst_label=dst, time_property=time_property,
+                provenance=provenance,
+            )
+        if kind is RuleKind.TEMPORAL_UNIQUE:
+            return ConsistencyRule(
+                kind=kind, text=text, edge_label=groups[0],
+                src_label=groups[1], dst_label=groups[2],
+                time_property=groups[3], provenance=provenance,
+            )
+        if kind is RuleKind.PATTERN:
+            return ConsistencyRule(
+                kind=kind, text=text, label=groups[0],
+                dst_label=groups[1], edge_label=groups[2],
+                scope_label=groups[4], scope_edge_label=groups[5],
+                provenance=provenance,
+            )
+    return None
+
+
+_LINE_PREFIX = re.compile(r"^\s*(?:\d+[.)]\s*|[-*]\s*)?")
+
+
+def parse_rule_list(
+    completion: str, provenance: str = ""
+) -> tuple[list[ConsistencyRule], list[str]]:
+    """Parse an LLM completion into rules.
+
+    Returns ``(rules, unparsed_lines)``; numbering and bullet markers are
+    tolerated, blank lines skipped.
+    """
+    rules: list[ConsistencyRule] = []
+    unparsed: list[str] = []
+    for raw_line in completion.splitlines():
+        line = _LINE_PREFIX.sub("", raw_line).strip()
+        if not line:
+            continue
+        rule = from_natural_language(line, provenance=provenance)
+        if rule is not None:
+            rules.append(rule)
+        else:
+            unparsed.append(line)
+    return rules, unparsed

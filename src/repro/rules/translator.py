@@ -1,0 +1,407 @@
+"""Ground-truth translation of consistency rules into Cypher.
+
+For each rule the translator emits:
+
+* ``check``      — the support-counting query in the style the paper shows
+                   (``RETURN COUNT(*) AS support``);
+* ``relevant``   — count of all facts for the rule's head relation
+                   (coverage denominator, §4.2);
+* ``body``       — count of elements matching the rule body
+                   (confidence denominator);
+* ``satisfy``    — count of elements satisfying body *and* head (support);
+* ``violations`` — a query returning the offending elements, for
+                   interactive use.
+
+Patterns are oriented against the :class:`~repro.graph.schema.GraphSchema`
+so that the *correct* direction is used — the simulated LLM may then flip
+it (the paper's first error category), and the corrector restores it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cypher.render import render_literal
+from repro.graph.schema import GraphSchema
+from repro.rules.model import ConsistencyRule, RuleKind
+
+
+class UntranslatableRuleError(ValueError):
+    """The rule is missing the fields its kind requires."""
+
+    def __init__(self, rule: ConsistencyRule, missing: str) -> None:
+        super().__init__(
+            f"rule kind {rule.kind.value} requires {missing}: {rule.text!r}"
+        )
+        self.rule = rule
+
+
+@dataclass(frozen=True)
+class MetricQueries:
+    """The query bundle computed for one rule."""
+
+    check: str
+    relevant: str
+    body: str
+    satisfy: str
+    violations: Optional[str] = None
+
+
+def _require(rule: ConsistencyRule, **fields: object) -> None:
+    for name, value in fields.items():
+        if not value:
+            raise UntranslatableRuleError(rule, name)
+
+
+class RuleTranslator:
+    """Translates rules to Cypher, orienting edges against a schema."""
+
+    def __init__(self, schema: GraphSchema) -> None:
+        self.schema = schema
+
+    # ------------------------------------------------------------------
+    def translate(self, rule: ConsistencyRule) -> MetricQueries:
+        handler = {
+            RuleKind.PROPERTY_EXISTS: self._property_exists,
+            RuleKind.EDGE_PROP_EXISTS: self._edge_prop_exists,
+            RuleKind.UNIQUENESS: self._uniqueness,
+            RuleKind.PRIMARY_KEY: self._primary_key,
+            RuleKind.VALUE_DOMAIN: self._value_domain,
+            RuleKind.VALUE_FORMAT: self._value_format,
+            RuleKind.ENDPOINT: self._endpoint,
+            RuleKind.MANDATORY_EDGE: self._mandatory_edge,
+            RuleKind.NO_SELF_LOOP: self._no_self_loop,
+            RuleKind.TEMPORAL_ORDER: self._temporal_order,
+            RuleKind.TEMPORAL_UNIQUE: self._temporal_unique,
+            RuleKind.PATTERN: self._pattern,
+        }[rule.kind]
+        return handler(rule)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _oriented(
+        self, left_label: str, edge_label: str, right_label: str
+    ) -> tuple[str, str]:
+        """Return (src_label, dst_label) matching the data's direction.
+
+        Prefers ``left -> right``; falls back to the reverse when only
+        that occurs; defaults to the requested order when the edge is
+        absent altogether (the metric queries will simply match nothing).
+        """
+        if self.schema.edge_connects(left_label, edge_label, right_label):
+            return left_label, right_label
+        if self.schema.edge_connects(right_label, edge_label, left_label):
+            return right_label, left_label
+        return left_label, right_label
+
+    @staticmethod
+    def _count(pattern: str, where: str | None, alias: str) -> str:
+        where_part = f" WHERE {where}" if where else ""
+        return f"MATCH {pattern}{where_part} RETURN count(*) AS {alias}"
+
+    # ------------------------------------------------------------------
+    # per-kind translators
+    # ------------------------------------------------------------------
+    def _property_exists(self, rule: ConsistencyRule) -> MetricQueries:
+        _require(rule, label=rule.label, properties=rule.properties)
+        pattern = f"(n:{rule.label})"
+        predicate = " AND ".join(
+            f"n.{key} IS NOT NULL" for key in rule.properties
+        )
+        negated = " OR ".join(f"n.{key} IS NULL" for key in rule.properties)
+        return MetricQueries(
+            check=self._count(pattern, predicate, "support"),
+            relevant=self._count(pattern, None, "relevant"),
+            body=self._count(pattern, None, "body"),
+            satisfy=self._count(pattern, predicate, "satisfy"),
+            violations=f"MATCH {pattern} WHERE {negated} RETURN n.id AS id",
+        )
+
+    def _edge_prop_exists(self, rule: ConsistencyRule) -> MetricQueries:
+        _require(rule, edge_label=rule.edge_label, properties=rule.properties)
+        pattern = f"()-[r:{rule.edge_label}]->()"
+        predicate = " AND ".join(
+            f"r.{key} IS NOT NULL" for key in rule.properties
+        )
+        negated = " OR ".join(f"r.{key} IS NULL" for key in rule.properties)
+        return MetricQueries(
+            check=self._count(pattern, predicate, "support"),
+            relevant=self._count(pattern, None, "relevant"),
+            body=self._count(pattern, None, "body"),
+            satisfy=self._count(pattern, predicate, "satisfy"),
+            violations=(
+                f"MATCH {pattern} WHERE {negated} RETURN id(r) AS id"
+            ),
+        )
+
+    def _uniqueness(self, rule: ConsistencyRule) -> MetricQueries:
+        _require(rule, label=rule.label, properties=rule.properties)
+        key = rule.properties[0]
+        pattern = f"(n:{rule.label})"
+        grouped = (
+            f"MATCH {pattern} WHERE n.{key} IS NOT NULL "
+            f"WITH n.{key} AS value, count(*) AS occurrences"
+        )
+        return MetricQueries(
+            check=(
+                f"{grouped} WHERE occurrences = 1 "
+                "RETURN count(*) AS support"
+            ),
+            relevant=self._count(pattern, None, "relevant"),
+            body=self._count(pattern, f"n.{key} IS NOT NULL", "body"),
+            satisfy=(
+                f"{grouped} WHERE occurrences = 1 "
+                "RETURN count(*) AS satisfy"
+            ),
+            violations=(
+                f"{grouped} WHERE occurrences > 1 "
+                "RETURN value, occurrences"
+            ),
+        )
+
+    def _primary_key(self, rule: ConsistencyRule) -> MetricQueries:
+        _require(
+            rule,
+            label=rule.label,
+            properties=rule.properties,
+            scope_label=rule.scope_label,
+            scope_edge_label=rule.scope_edge_label,
+        )
+        key = rule.properties[0]
+        src, dst = self._oriented(
+            rule.label, rule.scope_edge_label, rule.scope_label
+        )
+        if src == rule.label:
+            pattern = (
+                f"(m:{rule.label})-[:{rule.scope_edge_label}]->"
+                f"(s:{rule.scope_label})"
+            )
+        else:
+            pattern = (
+                f"(m:{rule.label})<-[:{rule.scope_edge_label}]-"
+                f"(s:{rule.scope_label})"
+            )
+        grouped = (
+            f"MATCH {pattern} "
+            f"WITH s.id AS scope_id, m.{key} AS value, count(*) AS occurrences"
+        )
+        return MetricQueries(
+            check=(
+                f"{grouped} WHERE occurrences = 1 "
+                "RETURN count(*) AS support"
+            ),
+            relevant=self._count(f"(m:{rule.label})", None, "relevant"),
+            body=self._count(pattern, None, "body"),
+            satisfy=(
+                f"{grouped} WHERE occurrences = 1 "
+                "RETURN count(*) AS satisfy"
+            ),
+            violations=(
+                f"{grouped} WHERE occurrences > 1 "
+                "RETURN scope_id, value, occurrences"
+            ),
+        )
+
+    def _value_domain(self, rule: ConsistencyRule) -> MetricQueries:
+        _require(
+            rule,
+            label=rule.label,
+            properties=rule.properties,
+            allowed_values=rule.allowed_values,
+        )
+        key = rule.properties[0]
+        pattern = f"(n:{rule.label})"
+        values = ", ".join(
+            render_literal(value) for value in rule.allowed_values
+        )
+        predicate = f"n.{key} IN [{values}]"
+        return MetricQueries(
+            check=self._count(pattern, predicate, "support"),
+            relevant=self._count(pattern, None, "relevant"),
+            body=self._count(pattern, f"n.{key} IS NOT NULL", "body"),
+            satisfy=self._count(pattern, predicate, "satisfy"),
+            violations=(
+                f"MATCH {pattern} WHERE n.{key} IS NOT NULL "
+                f"AND NOT n.{key} IN [{values}] "
+                f"RETURN n.id AS id, n.{key} AS value"
+            ),
+        )
+
+    def _value_format(self, rule: ConsistencyRule) -> MetricQueries:
+        _require(
+            rule,
+            label=rule.label,
+            properties=rule.properties,
+            pattern_regex=rule.pattern_regex,
+        )
+        key = rule.properties[0]
+        pattern = f"(n:{rule.label})"
+        regex = render_literal(rule.pattern_regex)
+        predicate = f"n.{key} =~ {regex}"
+        return MetricQueries(
+            check=self._count(pattern, predicate, "support"),
+            relevant=self._count(pattern, None, "relevant"),
+            body=self._count(pattern, f"n.{key} IS NOT NULL", "body"),
+            satisfy=self._count(pattern, predicate, "satisfy"),
+            violations=(
+                f"MATCH {pattern} WHERE n.{key} IS NOT NULL "
+                f"AND NOT n.{key} =~ {regex} "
+                f"RETURN n.id AS id, n.{key} AS value"
+            ),
+        )
+
+    def _endpoint(self, rule: ConsistencyRule) -> MetricQueries:
+        _require(
+            rule,
+            edge_label=rule.edge_label,
+            src_label=rule.src_label,
+            dst_label=rule.dst_label,
+        )
+        any_pattern = f"()-[r:{rule.edge_label}]->()"
+        typed_pattern = (
+            f"(a:{rule.src_label})-[r:{rule.edge_label}]->"
+            f"(b:{rule.dst_label})"
+        )
+        return MetricQueries(
+            check=self._count(typed_pattern, None, "support"),
+            relevant=self._count(any_pattern, None, "relevant"),
+            body=self._count(any_pattern, None, "body"),
+            satisfy=self._count(typed_pattern, None, "satisfy"),
+            violations=(
+                f"MATCH (a)-[r:{rule.edge_label}]->(b) "
+                f"WHERE NOT (a:{rule.src_label} AND b:{rule.dst_label}) "
+                "RETURN id(r) AS id"
+            ),
+        )
+
+    def _mandatory_edge(self, rule: ConsistencyRule) -> MetricQueries:
+        _require(
+            rule,
+            label=rule.label,
+            edge_label=rule.edge_label,
+            src_label=rule.src_label,
+            dst_label=rule.dst_label,
+        )
+        pattern = f"(n:{rule.label})"
+        if rule.src_label == rule.label:
+            other = rule.dst_label
+            exists = f"(n)-[:{rule.edge_label}]->(:{other})"
+        else:
+            other = rule.src_label
+            exists = f"(n)<-[:{rule.edge_label}]-(:{other})"
+        return MetricQueries(
+            check=self._count(pattern, exists, "support"),
+            relevant=self._count(pattern, None, "relevant"),
+            body=self._count(pattern, None, "body"),
+            satisfy=self._count(pattern, exists, "satisfy"),
+            violations=(
+                f"MATCH {pattern} WHERE NOT {exists} RETURN n.id AS id"
+            ),
+        )
+
+    def _no_self_loop(self, rule: ConsistencyRule) -> MetricQueries:
+        _require(rule, edge_label=rule.edge_label)
+        label_part = f":{rule.label}" if rule.label else ""
+        pattern = f"(a{label_part})-[r:{rule.edge_label}]->(b{label_part})"
+        return MetricQueries(
+            check=self._count(pattern, "NOT a = b", "support"),
+            relevant=self._count(pattern, None, "relevant"),
+            body=self._count(pattern, None, "body"),
+            satisfy=self._count(pattern, "NOT a = b", "satisfy"),
+            violations=(
+                f"MATCH {pattern} WHERE a = b RETURN id(r) AS id"
+            ),
+        )
+
+    def _temporal_order(self, rule: ConsistencyRule) -> MetricQueries:
+        _require(
+            rule,
+            edge_label=rule.edge_label,
+            src_label=rule.src_label,
+            dst_label=rule.dst_label,
+            time_property=rule.time_property,
+        )
+        key = rule.time_property
+        pattern = (
+            f"(a:{rule.src_label})-[r:{rule.edge_label}]->"
+            f"(b:{rule.dst_label})"
+        )
+        both = f"a.{key} IS NOT NULL AND b.{key} IS NOT NULL"
+        ordered = f"{both} AND a.{key} >= b.{key}"
+        return MetricQueries(
+            check=self._count(pattern, ordered, "support"),
+            relevant=self._count(
+                f"()-[r:{rule.edge_label}]->()", None, "relevant"
+            ),
+            body=self._count(pattern, both, "body"),
+            satisfy=self._count(pattern, ordered, "satisfy"),
+            violations=(
+                f"MATCH {pattern} WHERE {both} AND a.{key} < b.{key} "
+                "RETURN id(r) AS id"
+            ),
+        )
+
+    def _temporal_unique(self, rule: ConsistencyRule) -> MetricQueries:
+        _require(rule, edge_label=rule.edge_label, time_property=rule.time_property)
+        key = rule.time_property
+        src = f":{rule.src_label}" if rule.src_label else ""
+        dst = f":{rule.dst_label}" if rule.dst_label else ""
+        pattern = f"(a{src})-[r:{rule.edge_label}]->(b{dst})"
+        grouped = (
+            f"MATCH {pattern} WHERE r.{key} IS NOT NULL "
+            f"WITH a, b, r.{key} AS moment, count(*) AS occurrences"
+        )
+        return MetricQueries(
+            check=(
+                f"{grouped} WHERE occurrences = 1 "
+                "RETURN count(*) AS support"
+            ),
+            relevant=self._count(
+                f"()-[r:{rule.edge_label}]->()", None, "relevant"
+            ),
+            body=self._count(pattern, f"r.{key} IS NOT NULL", "body"),
+            satisfy=(
+                f"{grouped} WHERE occurrences = 1 "
+                "RETURN count(*) AS satisfy"
+            ),
+            violations=(
+                f"{grouped} WHERE occurrences > 1 "
+                "RETURN a.id AS a, b.id AS b, moment, occurrences"
+            ),
+        )
+
+    def _pattern(self, rule: ConsistencyRule) -> MetricQueries:
+        _require(
+            rule,
+            label=rule.label,
+            edge_label=rule.edge_label,
+            dst_label=rule.dst_label,
+            scope_edge_label=rule.scope_edge_label,
+            scope_label=rule.scope_label,
+        )
+        src1, dst1 = self._oriented(rule.label, rule.edge_label, rule.dst_label)
+        hop1 = (
+            f"(n:{rule.label})-[:{rule.edge_label}]->(m:{rule.dst_label})"
+            if src1 == rule.label
+            else f"(n:{rule.label})<-[:{rule.edge_label}]-(m:{rule.dst_label})"
+        )
+        src2, dst2 = self._oriented(
+            rule.dst_label, rule.scope_edge_label, rule.scope_label
+        )
+        closure = (
+            f"(m)-[:{rule.scope_edge_label}]->(:{rule.scope_label})"
+            if src2 == rule.dst_label
+            else f"(m)<-[:{rule.scope_edge_label}]-(:{rule.scope_label})"
+        )
+        return MetricQueries(
+            check=self._count(hop1, closure, "support"),
+            relevant=self._count(f"(n:{rule.label})", None, "relevant"),
+            body=self._count(hop1, None, "body"),
+            satisfy=self._count(hop1, closure, "satisfy"),
+            violations=(
+                f"MATCH {hop1} WHERE NOT {closure} "
+                "RETURN n.id AS id, m.id AS mid"
+            ),
+        )

@@ -1,0 +1,86 @@
+"""Shared fixtures.
+
+The three full datasets are session-scoped (generation is deterministic
+but the Twitter graph takes a couple of seconds); most tests use the
+small hand-built graphs below instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load
+from repro.graph import PropertyGraph, infer_schema
+
+
+@pytest.fixture()
+def social_graph() -> PropertyGraph:
+    """A small Twitter-like graph with known facts.
+
+    2 users, 3 tweets; u1 posts t1 and t3, u2 posts t2; t3 retweets t1;
+    u1 follows u2; t2 has a duplicate id with t1.
+    """
+    graph = PropertyGraph("social")
+    graph.add_node("u1", "User", {"id": 1, "name": "alice", "active": True})
+    graph.add_node("u2", "User", {"id": 2, "name": "bob", "active": False})
+    graph.add_node("t1", "Tweet", {
+        "id": 10, "text": "first", "created_at": "2021-01-01T10:00:00",
+    })
+    graph.add_node("t2", "Tweet", {
+        "id": 10, "text": "second", "created_at": "2021-01-02T10:00:00",
+    })
+    graph.add_node("t3", "Tweet", {
+        "id": 12, "text": "third", "created_at": "2021-01-03T10:00:00",
+    })
+    graph.add_edge("p1", "POSTS", "u1", "t1")
+    graph.add_edge("p2", "POSTS", "u2", "t2")
+    graph.add_edge("p3", "POSTS", "u1", "t3")
+    graph.add_edge("r1", "RETWEETS", "t3", "t1")
+    graph.add_edge("f1", "FOLLOWS", "u1", "u2", {"since": "2020-05-01"})
+    return graph
+
+
+@pytest.fixture()
+def social_schema(social_graph):
+    return infer_schema(social_graph)
+
+
+@pytest.fixture()
+def sports_graph() -> PropertyGraph:
+    """A miniature WWC-like graph for translator/endpoint tests."""
+    graph = PropertyGraph("sports")
+    graph.add_node("tour", "Tournament", {"id": "T1", "name": "Cup"})
+    graph.add_node("m1", "Match", {"id": 1, "date": "2019-06-01",
+                                   "stage": "Group"})
+    graph.add_node("m2", "Match", {"id": 2, "date": "2019-06-02",
+                                   "stage": "Final"})
+    graph.add_node("sq1", "Squad", {"id": 1, "name": "A squad"})
+    graph.add_node("p1", "Person", {"id": 1, "name": "Ada"})
+    graph.add_node("p2", "Person", {"id": 2, "name": "Bea"})
+    graph.add_edge("it1", "IN_TOURNAMENT", "m1", "tour")
+    graph.add_edge("it2", "IN_TOURNAMENT", "m2", "tour")
+    graph.add_edge("fo1", "FOR", "sq1", "tour")
+    graph.add_edge("is1", "IN_SQUAD", "p1", "sq1")
+    graph.add_edge("is2", "IN_SQUAD", "p2", "sq1")
+    graph.add_edge("g1", "SCORED_GOAL", "p1", "m1",
+                   {"minute": 12, "penalty": False})
+    graph.add_edge("g2", "SCORED_GOAL", "p1", "m1",
+                   {"minute": 12, "penalty": True})   # same-minute pair
+    graph.add_edge("g3", "SCORED_GOAL", "p2", "m2",
+                   {"minute": 40, "penalty": False})
+    return graph
+
+
+@pytest.fixture(scope="session")
+def wwc_dataset():
+    return load("wwc2019")
+
+
+@pytest.fixture(scope="session")
+def cyber_dataset():
+    return load("cybersecurity")
+
+
+@pytest.fixture(scope="session")
+def twitter_dataset():
+    return load("twitter")

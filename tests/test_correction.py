@@ -1,0 +1,126 @@
+"""Unit tests for the §4.4 classification and correction protocol."""
+
+import pytest
+
+from repro.correction import QueryClassifier, QueryCorrector
+from repro.cypher import ErrorCategory, execute
+from repro.rules import (
+    ConsistencyRule,
+    RuleKind,
+    RuleTranslator,
+    to_natural_language,
+)
+
+
+def named(rule: ConsistencyRule) -> ConsistencyRule:
+    return ConsistencyRule(
+        kind=rule.kind, text=to_natural_language(rule), label=rule.label,
+        properties=rule.properties, edge_label=rule.edge_label,
+        src_label=rule.src_label, dst_label=rule.dst_label,
+        allowed_values=rule.allowed_values,
+        pattern_regex=rule.pattern_regex,
+        scope_edge_label=rule.scope_edge_label,
+        scope_label=rule.scope_label, time_property=rule.time_property,
+    )
+
+
+class TestClassifier:
+    def test_correct_query(self, social_schema):
+        verdict = QueryClassifier(social_schema).classify(
+            "MATCH (t:Tweet) RETURN count(*) AS c"
+        )
+        assert verdict.is_correct
+        assert verdict.primary_category is None
+
+    def test_syntax_primary_over_hallucination(self, social_schema):
+        # both a parse problem and, hypothetically, bad props: parse
+        # failure short-circuits
+        verdict = QueryClassifier(social_schema).classify(
+            "MATCH (t:Tweet RETURN t.score"
+        )
+        assert verdict.primary_category is ErrorCategory.SYNTAX
+
+    def test_direction_primary(self, social_schema):
+        verdict = QueryClassifier(social_schema).classify(
+            "MATCH (t:Tweet)-[:POSTS]->(u:User) RETURN count(*) AS c"
+        )
+        assert verdict.primary_category is ErrorCategory.DIRECTION
+
+    def test_hallucination_category(self, social_schema):
+        verdict = QueryClassifier(social_schema).classify(
+            "MATCH (t:Tweet) WHERE t.penaltyScore > 0 RETURN t"
+        )
+        assert verdict.primary_category is (
+            ErrorCategory.HALLUCINATED_PROPERTY
+        )
+        assert verdict.category_name == "hallucinated_property"
+
+
+class TestCorrector:
+    @pytest.fixture()
+    def corrector(self, social_schema):
+        return QueryCorrector(social_schema)
+
+    def test_correct_query_passes_through(self, corrector):
+        rule = named(ConsistencyRule(
+            RuleKind.UNIQUENESS, "", label="Tweet", properties=("id",),
+        ))
+        generated = (
+            "MATCH (n:Tweet) WHERE n.id IS NOT NULL "
+            "WITH n.id AS value, count(*) AS occurrences "
+            "WHERE occurrences = 1 RETURN count(*) AS support"
+        )
+        outcome = corrector.correct(rule, generated)
+        assert outcome.final_query == generated
+        assert not outcome.corrected
+        assert not outcome.left_uncorrected
+
+    def test_direction_error_regenerated(self, corrector, social_graph):
+        rule = named(ConsistencyRule(
+            RuleKind.ENDPOINT, "", edge_label="POSTS",
+            src_label="User", dst_label="Tweet",
+        ))
+        flipped = "MATCH (a:Tweet)-[r:POSTS]->(b:User) " \
+                  "RETURN count(*) AS support"
+        outcome = corrector.correct(rule, flipped)
+        assert outcome.corrected
+        assert execute(social_graph, outcome.final_query).scalar() == 3
+
+    def test_syntax_error_regenerated(self, corrector, social_graph):
+        rule = named(ConsistencyRule(
+            RuleKind.PROPERTY_EXISTS, "", label="Tweet",
+            properties=("text",),
+        ))
+        broken = "MATCH (n:Tweet WHERE n.text IS NOT NULL " \
+                 "RETURN count(*) AS support"
+        outcome = corrector.correct(rule, broken)
+        assert outcome.corrected
+        assert execute(social_graph, outcome.final_query).scalar() == 3
+
+    def test_hallucination_left_uncorrected(self, corrector):
+        rule = named(ConsistencyRule(
+            RuleKind.PROPERTY_EXISTS, "", label="Tweet",
+            properties=("score",),     # rule-level hallucination
+        ))
+        generated = (
+            "MATCH (n:Tweet) WHERE n.score IS NOT NULL "
+            "RETURN count(*) AS support"
+        )
+        outcome = corrector.correct(rule, generated)
+        assert outcome.left_uncorrected
+        assert outcome.final_query == generated
+
+    def test_regenerated_query_preserves_rule_hallucination(
+        self, corrector
+    ):
+        """A hallucinated rule with a *syntax* fault gets its syntax
+        fixed but keeps the nonexistent property (the paper's rule-level
+        vs translation-level distinction)."""
+        rule = named(ConsistencyRule(
+            RuleKind.PROPERTY_EXISTS, "", label="Tweet",
+            properties=("score",),
+        ))
+        broken = "MATCH (n:Tweet WHERE n.score IS NOT NULL RETURN 1"
+        outcome = corrector.correct(rule, broken)
+        assert outcome.corrected
+        assert "n.score" in outcome.final_query

@@ -1,0 +1,127 @@
+"""Unit tests for the Cypher lexer."""
+
+import pytest
+
+from repro.cypher import CypherSyntaxError, tokenize
+from repro.cypher.tokens import TokenType
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestBasics:
+    def test_empty_input_gives_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_case_insensitive_but_text_preserved(self):
+        tokens = tokenize("match Match MATCH")
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+        assert [t.text for t in tokens[:-1]] == ["match", "Match", "MATCH"]
+        assert tokens[0].is_keyword("MATCH")
+        assert tokens[1].is_keyword("MATCH")
+
+    def test_identifiers(self):
+        tokens = tokenize("foo _bar baz2")
+        assert all(t.type is TokenType.IDENT for t in tokens[:-1])
+
+    def test_backtick_identifier(self):
+        tokens = tokenize("`weird name`")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].text == "weird name"
+
+    def test_positions_point_into_source(self):
+        tokens = tokenize("MATCH (n)")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 6
+
+
+class TestStrings:
+    def test_single_and_double_quotes(self):
+        assert texts("'abc' \"xyz\"") == ["abc", "xyz"]
+
+    def test_escapes(self):
+        assert texts(r"'a\'b'") == ["a'b"]
+        assert texts(r"'a\nb'") == ["a\nb"]
+        assert texts(r"'a\\b'") == ["a\\b"]
+
+    def test_unknown_escape_kept_verbatim(self):
+        assert texts(r"'a\db'") == [r"a\db"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("'oops")
+
+
+class TestNumbers:
+    def test_integer(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.INTEGER
+        assert tokens[0].text == "42"
+
+    def test_float(self):
+        assert tokenize("3.25")[0].type is TokenType.FLOAT
+
+    def test_scientific(self):
+        assert tokenize("1e5")[0].type is TokenType.FLOAT
+        assert tokenize("2.5e-3")[0].type is TokenType.FLOAT
+
+    def test_dot_without_digits_is_property_access(self):
+        assert kinds("a.b") == [
+            TokenType.IDENT, TokenType.DOT, TokenType.IDENT,
+        ]
+
+
+class TestOperators:
+    def test_regex_match_operator(self):
+        assert kinds("a =~ b") == [
+            TokenType.IDENT, TokenType.REGEX_MATCH, TokenType.IDENT,
+        ]
+
+    def test_comparison_operators(self):
+        assert kinds("< <= > >= <> !=") == [
+            TokenType.LT, TokenType.LTE, TokenType.GT, TokenType.GTE,
+            TokenType.NEQ, TokenType.NEQ,
+        ]
+
+    def test_arrows(self):
+        assert kinds("-[r]->") == [
+            TokenType.DASH, TokenType.LBRACKET, TokenType.IDENT,
+            TokenType.RBRACKET, TokenType.ARROW_RIGHT,
+        ]
+        assert kinds("<-[r]-") == [
+            TokenType.ARROW_LEFT, TokenType.LBRACKET, TokenType.IDENT,
+            TokenType.RBRACKET, TokenType.DASH,
+        ]
+
+    def test_bare_arrows(self):
+        assert kinds("-->") == [TokenType.DASH, TokenType.ARROW_RIGHT]
+        assert kinds("<--") == [TokenType.ARROW_LEFT, TokenType.DASH]
+
+    def test_comparison_lt_not_arrow(self):
+        # 'a < b' must not lex '<' as part of an arrow
+        assert kinds("a < b") == [
+            TokenType.IDENT, TokenType.LT, TokenType.IDENT,
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("a ~ b")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(CypherSyntaxError):
+            tokenize("a /* oops")

@@ -1,0 +1,57 @@
+"""Render → parse round-trip tests for the Cypher pretty-printer."""
+
+import pytest
+
+from repro.cypher import parse, render_query
+from repro.cypher.render import render_expression, render_literal
+
+ROUND_TRIP_QUERIES = [
+    "MATCH (n) RETURN n",
+    "MATCH (n:Person {age: 3}) RETURN n.name AS name",
+    "MATCH (a:A)-[r:R]->(b:B) WHERE r.w > 2 RETURN count(*) AS c",
+    "MATCH (a)<-[:R]-(b) RETURN a",
+    "MATCH (a)-[:R|S]-(b) RETURN a, b",
+    "MATCH (a)-[:R*1..3]->(b) RETURN b",
+    "OPTIONAL MATCH (a:A) RETURN a",
+    "MATCH (n) WHERE n.x IS NOT NULL AND n.y IN [1, 2] RETURN n",
+    "MATCH (n) WHERE n.s STARTS WITH 'a' OR n.s =~ 'x+' RETURN n",
+    "MATCH (n) WITH n.x AS x, count(*) AS c WHERE c > 1 RETURN x, c",
+    "MATCH (n) RETURN DISTINCT n.x AS x ORDER BY x DESC SKIP 1 LIMIT 5",
+    "UNWIND [1, 2] AS v RETURN v",
+    "MATCH (u) WHERE NOT (u)-[:F]->(u) RETURN count(*) AS ok",
+    "MATCH (n) RETURN CASE WHEN n.x > 1 THEN 'hi' ELSE 'lo' END AS b",
+    "MATCH (n) RETURN collect(DISTINCT n.x) AS xs",
+    "MATCH (a:X) RETURN a.v AS v UNION MATCH (b:Y) RETURN b.v AS v",
+    "MATCH p = (a)-[:R]->(b) RETURN p",
+    "MATCH (n) RETURN [x IN n.xs WHERE x > 0 | x * 2] AS ys",
+    "MATCH (n) RETURN n.list[0] AS head, n.list[1..2] AS mid",
+    "MATCH (n) WHERE n:Person:Admin RETURN n",
+]
+
+
+@pytest.mark.parametrize("query_text", ROUND_TRIP_QUERIES)
+def test_render_parse_fixpoint(query_text):
+    """render(parse(q)) must itself parse to the same AST."""
+    ast1 = parse(query_text)
+    rendered = render_query(ast1)
+    ast2 = parse(rendered)
+    assert ast1 == ast2, rendered
+
+
+def test_render_literals():
+    assert render_literal(None) == "NULL"
+    assert render_literal(True) == "true"
+    assert render_literal("it's") == "'it\\'s'"
+    assert render_literal([1, "a"]) == "[1, 'a']"
+    assert render_literal(2.5) == "2.5"
+
+
+def test_render_expression_function_case():
+    ast = parse("MATCH (n) RETURN toString(n.x)")
+    text = render_expression(ast.clauses[-1].items[0].expression)
+    assert text == "toString(n.x)"
+
+
+def test_rendered_query_is_single_line():
+    ast = parse("MATCH (n)\nWHERE n.x = 1\nRETURN n")
+    assert "\n" not in render_query(ast)

@@ -1,0 +1,204 @@
+"""Tests for the three dataset generators (Table 1 + dirt + schemas)."""
+
+import pytest
+
+from repro.cypher import execute
+from repro.datasets import DATASET_NAMES, load
+from repro.datasets import registry
+from repro.graph import compute_statistics, infer_schema
+from repro.metrics import evaluate_rule
+from repro.rules import RuleTranslator
+
+TABLE1 = {
+    "wwc2019": (2468, 14799, 5, 9),
+    "cybersecurity": (953, 4838, 7, 16),
+    "twitter": (43325, 56493, 6, 8),
+}
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_table1_sizes_exact(name, request):
+    dataset = load(name)
+    stats = compute_statistics(dataset.graph)
+    assert (stats.nodes, stats.edges, stats.node_labels,
+            stats.edge_labels) == TABLE1[name]
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_dirt_report_nonempty(name):
+    assert load(name).dirt.total() > 0
+
+
+def test_registry_cache_and_unknown():
+    first = load("wwc2019")
+    second = load("wwc2019")
+    assert first is second
+    fresh = load("wwc2019", cache=False)
+    assert fresh is not first
+    with pytest.raises(KeyError):
+        load("imaginary")
+
+
+def test_registry_clear_cache():
+    first = load("cybersecurity")
+    registry.clear_cache()
+    second = load("cybersecurity")
+    assert first is not second
+
+
+def test_determinism_same_seed():
+    from repro.graph import graph_to_dict
+
+    a = load("cybersecurity", seed=99, cache=False)
+    b = load("cybersecurity", seed=99, cache=False)
+    assert graph_to_dict(a.graph) == graph_to_dict(b.graph)
+
+
+def test_different_seed_changes_data():
+    a = load("cybersecurity", seed=1, cache=False)
+    b = load("cybersecurity", seed=2, cache=False)
+    # structure targets identical...
+    assert a.graph.node_count() == b.graph.node_count()
+    # ...but property values differ
+    name_a = a.graph.node("user1").properties["name"]
+    name_b = b.graph.node("user1").properties["name"]
+    assert name_a != name_b
+
+
+class TestWWC2019:
+    def test_schema_labels(self, wwc_dataset):
+        schema = infer_schema(wwc_dataset.graph)
+        assert schema.node_labels() == [
+            "Match", "Person", "Squad", "Team", "Tournament",
+        ]
+        assert schema.edge_connects("Match", "IN_TOURNAMENT", "Tournament")
+        assert schema.edge_connects("Person", "SCORED_GOAL", "Match")
+
+    def test_true_rules_mostly_hold(self, wwc_dataset):
+        translator = RuleTranslator(infer_schema(wwc_dataset.graph))
+        for rule in wwc_dataset.true_rules:
+            metrics = evaluate_rule(
+                wwc_dataset.graph, translator.translate(rule)
+            )
+            assert metrics.relevant > 0, rule.text
+            assert metrics.confidence >= 60.0, (rule.text, metrics)
+
+    def test_dirt_breaks_some_rule(self, wwc_dataset):
+        translator = RuleTranslator(infer_schema(wwc_dataset.graph))
+        confidences = [
+            evaluate_rule(
+                wwc_dataset.graph, translator.translate(rule)
+            ).confidence
+            for rule in wwc_dataset.true_rules
+        ]
+        assert any(confidence < 100.0 for confidence in confidences)
+
+    def test_same_minute_duplicate_goal_exists(self, wwc_dataset):
+        result = execute(
+            wwc_dataset.graph,
+            "MATCH (p:Person)-[g:SCORED_GOAL]->(m:Match) "
+            "WITH p, m, g.minute AS minute, count(*) AS c WHERE c > 1 "
+            "RETURN count(*) AS pairs",
+        )
+        assert result.scalar() >= 1
+
+
+class TestCybersecurity:
+    def test_owned_domain_violation_present(self, cyber_dataset):
+        result = execute(
+            cyber_dataset.graph,
+            "MATCH (u:User) WHERE NOT u.owned IN [true, false] "
+            "RETURN count(*) AS bad",
+        )
+        assert result.scalar() == 5
+
+    def test_group_self_membership_exists(self, cyber_dataset):
+        result = execute(
+            cyber_dataset.graph,
+            "MATCH (g:Group)-[:MEMBER_OF]->(g) RETURN count(*) AS c",
+        )
+        assert result.scalar() == 1
+
+    def test_domain_names_match_format(self, cyber_dataset):
+        result = execute(
+            cyber_dataset.graph,
+            "MATCH (d:Domain) WHERE d.name =~ "
+            "'([a-z0-9-]+\\\\.)+[a-z]{2,}' RETURN count(*) AS ok",
+        )
+        assert result.scalar() == 2
+
+    def test_malformed_cve_present(self, cyber_dataset):
+        result = execute(
+            cyber_dataset.graph,
+            "MATCH (v:Vulnerability) WHERE NOT v.cve =~ "
+            "'CVE-\\\\d{4}-\\\\d{4,5}' RETURN count(*) AS bad",
+        )
+        assert result.scalar() == 1
+
+
+class TestTwitter:
+    def test_duplicate_tweet_ids(self, twitter_dataset):
+        result = execute(
+            twitter_dataset.graph,
+            "MATCH (t:Tweet) WITH t.id AS id, count(*) AS c WHERE c > 1 "
+            "RETURN count(*) AS groups",
+        )
+        assert result.scalar() >= 1
+
+    def test_self_follows_planted(self, twitter_dataset):
+        result = execute(
+            twitter_dataset.graph,
+            "MATCH (u:User)-[:FOLLOWS]->(u) RETURN count(*) AS c",
+        )
+        assert result.scalar() == 8
+
+    def test_retweet_temporal_violations(self, twitter_dataset):
+        result = execute(
+            twitter_dataset.graph,
+            "MATCH (a:Tweet)-[:RETWEETS]->(b:Tweet) "
+            "WHERE a.created_at < b.created_at RETURN count(*) AS bad",
+        )
+        assert result.scalar() >= 10
+
+    def test_orphan_tweets(self, twitter_dataset):
+        result = execute(
+            twitter_dataset.graph,
+            "MATCH (t:Tweet) WHERE NOT (t)<-[:POSTS]-(:User) "
+            "RETURN count(*) AS orphans",
+        )
+        assert result.scalar() == 10
+
+    def test_every_tweet_has_id_and_text(self, twitter_dataset):
+        result = execute(
+            twitter_dataset.graph,
+            "MATCH (t:Tweet) WHERE t.id IS NULL OR t.text IS NULL "
+            "RETURN count(*) AS missing",
+        )
+        assert result.scalar() == 0
+
+
+def test_generation_independent_of_hash_seed():
+    """Dataset generation must not leak set-iteration order (which
+    varies with PYTHONHASHSEED) into the graph — regression test for a
+    bug where WWC2019's dirt placement depended on hash randomisation."""
+    import json
+    import subprocess
+    import sys
+
+    script = (
+        "import json;"
+        "from repro.datasets import load;"
+        "from repro.graph.io import graph_to_dict;"
+        "print(json.dumps(graph_to_dict(load('wwc2019').graph),"
+        "sort_keys=True, default=str)[:2000])"
+    )
+    outputs = set()
+    for seed in ("0", "31337"):
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True,
+            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        outputs.add(result.stdout)
+    assert len(outputs) == 1

@@ -1,0 +1,85 @@
+"""Unit tests for the incident and adjacency encoders."""
+
+from repro.encoding import (
+    AdjacencyEncoder,
+    IncidentEncoder,
+    format_properties,
+    format_value,
+)
+from repro.llm.prompt_io import parse_visible_graph
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value("x") == "'x'"
+        assert format_value(True) == "True"
+        assert format_value(3) == "3"
+        assert format_value([1, "a"]) == "[1, 'a']"
+
+    def test_format_properties_sorted(self):
+        assert format_properties({"b": 1, "a": "x"}) == "(a: 'x', b: 1)"
+        assert format_properties({}) == "()"
+
+
+class TestIncidentEncoder:
+    def test_node_statement(self, social_graph):
+        encoder = IncidentEncoder()
+        statement = encoder.encode_node(social_graph.node("u1"))
+        assert statement.kind == "node"
+        assert statement.text == (
+            "Node u1 with label User has properties "
+            "(active: True, id: 1, name: 'alice')."
+        )
+
+    def test_edge_statement_includes_endpoint_labels(self, social_graph):
+        encoder = IncidentEncoder()
+        statement = encoder.encode_edge(
+            social_graph, social_graph.edge("p1")
+        )
+        assert statement.kind == "edge"
+        assert "Node u1 (User) connects to node t1 (Tweet)" in statement.text
+        assert "label POSTS" in statement.text
+
+    def test_statement_order_groups_by_node(self, social_graph):
+        statements = IncidentEncoder().encode(social_graph)
+        # u1's node statement is immediately followed by its out-edges
+        texts = [s.text for s in statements]
+        u1_index = next(
+            i for i, t in enumerate(texts) if t.startswith("Node u1 with")
+        )
+        assert "via edge p1" in texts[u1_index + 1]
+
+    def test_round_trip_through_prompt_parser(self, social_graph):
+        text = IncidentEncoder().encode_text(social_graph)
+        view = parse_visible_graph(text)
+        assert view.unparsed_lines == 0
+        assert set(view.nodes) == {"u1", "u2", "t1", "t2", "t3"}
+        assert len(view.edges) == 5
+        tweet = view.nodes["t1"]
+        assert tweet.labels == ("Tweet",)
+        assert tweet.properties["id"] == 10
+        posts = [e for e in view.edges if e.label == "POSTS"]
+        assert all(e.src_labels == ("User",) for e in posts)
+
+
+class TestAdjacencyEncoder:
+    def test_edges_after_all_nodes(self, social_graph):
+        statements = AdjacencyEncoder().encode(social_graph)
+        kinds = [s.kind for s in statements]
+        assert kinds == ["node"] * 5 + ["edge"] * 5
+
+    def test_edge_statement_without_labels(self, social_graph):
+        text = AdjacencyEncoder().encode_text(social_graph)
+        view = parse_visible_graph(text)
+        assert view.unparsed_lines == 0
+        posts = [e for e in view.edges if e.label == "POSTS"]
+        assert all(e.src_labels == () for e in posts)
+        # but the parser can resolve them from visible node statements
+        assert view.resolve_labels(posts[0].src) == ("User",)
+
+    def test_adjacency_is_cheaper_in_tokens(self, social_graph):
+        from repro.encoding import count_tokens
+
+        incident = IncidentEncoder().encode_text(social_graph)
+        adjacency = AdjacencyEncoder().encode_text(social_graph)
+        assert count_tokens(adjacency) < count_tokens(incident)

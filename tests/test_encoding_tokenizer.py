@@ -1,0 +1,43 @@
+"""Unit tests for the pseudo-BPE tokenizer."""
+
+from repro.encoding import count_tokens, split_tokens, token_spans
+from repro.encoding.tokenizer import PIECE_SIZE
+
+
+def test_words_and_punctuation_are_tokens():
+    assert split_tokens("Node u1 has (a: 1).") == [
+        "Node", "u1", "has", "(", "a", ":", "1", ")", ".",
+    ]
+
+
+def test_long_words_split_into_pieces():
+    word = "a" * (PIECE_SIZE * 2 + 3)
+    pieces = split_tokens(word)
+    assert len(pieces) == 3
+    assert "".join(pieces) == word
+
+
+def test_count_matches_split():
+    text = "hello world, this is graph encoding number 12345"
+    assert count_tokens(text) == len(split_tokens(text))
+
+
+def test_empty_text():
+    assert split_tokens("") == []
+    assert count_tokens("") == 0
+    assert token_spans("") == []
+
+
+def test_spans_cover_exact_token_text():
+    text = "Node tournament1 with label Tournament."
+    spans = token_spans(text)
+    rebuilt = [text[start:end] for start, end in spans]
+    assert rebuilt == split_tokens(text)
+
+
+def test_spans_are_monotone_and_disjoint():
+    text = "abc def (x: 'yy') superlongidentifier42"
+    spans = token_spans(text)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2
+        assert s1 < e1

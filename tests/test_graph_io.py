@@ -1,0 +1,65 @@
+"""Unit tests for graph serialization."""
+
+import pytest
+
+from repro.graph import (
+    build_graph,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+
+def test_dict_round_trip(social_graph):
+    payload = graph_to_dict(social_graph)
+    rebuilt = graph_from_dict(payload)
+    assert rebuilt.name == social_graph.name
+    assert rebuilt.node_count() == social_graph.node_count()
+    assert rebuilt.edge_count() == social_graph.edge_count()
+    for node in social_graph.nodes():
+        other = rebuilt.node(node.id)
+        assert other.labels == node.labels
+        assert other.properties == node.properties
+    for edge in social_graph.edges():
+        other = rebuilt.edge(edge.id)
+        assert (other.label, other.src, other.dst) == (
+            edge.label, edge.src, edge.dst
+        )
+        assert other.properties == edge.properties
+
+
+def test_file_round_trip(social_graph, tmp_path):
+    path = tmp_path / "g.json"
+    save_graph(social_graph, path)
+    rebuilt = load_graph(path)
+    assert graph_to_dict(rebuilt) == graph_to_dict(social_graph)
+
+
+def test_unknown_version_rejected():
+    with pytest.raises(ValueError):
+        graph_from_dict({"format_version": 99})
+
+
+def test_build_graph_bulk():
+    graph = build_graph(
+        "bulk",
+        nodes=[
+            {"id": "a", "labels": ["X"], "properties": {"k": 1}},
+            {"id": "b", "labels": "Y"},
+        ],
+        edges=[{"id": "e", "label": "R", "src": "a", "dst": "b"}],
+    )
+    assert graph.node("a").properties == {"k": 1}
+    assert graph.node("b").has_label("Y")
+    assert graph.edge("e").label == "R"
+
+
+def test_empty_graph_round_trip(tmp_path):
+    from repro.graph import PropertyGraph
+
+    path = tmp_path / "empty.json"
+    save_graph(PropertyGraph("empty"), path)
+    rebuilt = load_graph(path)
+    assert rebuilt.node_count() == 0
+    assert rebuilt.edge_count() == 0

@@ -1,0 +1,86 @@
+"""Unit tests for the property-graph element types."""
+
+import pytest
+
+from repro.graph import InvalidPropertyError, Node, Edge
+from repro.graph.model import validate_property_value
+
+
+class TestValidateProperty:
+    def test_primitives_pass_through(self):
+        for value in ("x", 3, 2.5, True, None):
+            assert validate_property_value("k", value) == value
+
+    def test_list_of_primitives_normalised_to_list(self):
+        assert validate_property_value("k", (1, 2)) == [1, 2]
+        assert validate_property_value("k", ["a", "b"]) == ["a", "b"]
+
+    def test_nested_list_rejected(self):
+        with pytest.raises(InvalidPropertyError):
+            validate_property_value("k", [[1], [2]])
+
+    def test_dict_rejected(self):
+        with pytest.raises(InvalidPropertyError):
+            validate_property_value("k", {"a": 1})
+
+    def test_error_carries_key_and_value(self):
+        with pytest.raises(InvalidPropertyError) as excinfo:
+            validate_property_value("weird", object())
+        assert excinfo.value.key == "weird"
+
+
+class TestNode:
+    def test_create_normalises_single_label(self):
+        node = Node.create("n1", "Person", {"name": "x"})
+        assert node.labels == frozenset({"Person"})
+        assert node.has_label("Person")
+        assert not node.has_label("Animal")
+
+    def test_create_with_multiple_labels(self):
+        node = Node.create("n1", ["A", "B"])
+        assert node.sorted_labels() == ["A", "B"]
+
+    def test_id_coerced_to_string(self):
+        node = Node.create(42, "X")
+        assert node.id == "42"
+
+    def test_get_with_default(self):
+        node = Node.create("n", "X", {"a": 1})
+        assert node.get("a") == 1
+        assert node.get("b") is None
+        assert node.get("b", 7) == 7
+
+    def test_with_properties_returns_new_node(self):
+        node = Node.create("n", "X", {"a": 1})
+        updated = node.with_properties({"b": 2})
+        assert updated.properties == {"a": 1, "b": 2}
+        assert node.properties == {"a": 1}  # original untouched
+
+    def test_without_property(self):
+        node = Node.create("n", "X", {"a": 1, "b": 2})
+        assert node.without_property("a").properties == {"b": 2}
+        assert node.without_property("zz").properties == {"a": 1, "b": 2}
+
+    def test_invalid_property_at_creation(self):
+        with pytest.raises(InvalidPropertyError):
+            Node.create("n", "X", {"bad": object()})
+
+
+class TestEdge:
+    def test_create(self):
+        edge = Edge.create("e1", "KNOWS", "a", "b", {"w": 1})
+        assert (edge.label, edge.src, edge.dst) == ("KNOWS", "a", "b")
+        assert edge.get("w") == 1
+
+    def test_other_end(self):
+        edge = Edge.create("e1", "KNOWS", "a", "b")
+        assert edge.other_end("a") == "b"
+        assert edge.other_end("b") == "a"
+        with pytest.raises(ValueError):
+            edge.other_end("c")
+
+    def test_with_properties(self):
+        edge = Edge.create("e1", "KNOWS", "a", "b", {"w": 1})
+        updated = edge.with_properties({"w": 2, "x": 3})
+        assert updated.properties == {"w": 2, "x": 3}
+        assert edge.properties == {"w": 1}

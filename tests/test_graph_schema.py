@@ -1,0 +1,103 @@
+"""Unit tests for schema inference."""
+
+from repro.graph import PropertyGraph, infer_schema
+
+
+def test_node_profiles_count_and_keys(social_graph):
+    schema = infer_schema(social_graph)
+    assert schema.node_labels() == ["Tweet", "User"]
+    user = schema.node_profiles["User"]
+    assert user.count == 2
+    assert user.property_keys() == ["active", "id", "name"]
+
+
+def test_edge_profiles(social_graph):
+    schema = infer_schema(social_graph)
+    assert schema.edge_labels() == ["FOLLOWS", "POSTS", "RETWEETS"]
+    follows = schema.edge_profiles["FOLLOWS"]
+    assert follows.count == 1
+    assert follows.property_keys() == ["since"]
+
+
+def test_endpoint_signatures(social_graph):
+    schema = infer_schema(social_graph)
+    posts = schema.endpoint_signatures("POSTS")
+    assert len(posts) == 1
+    assert (posts[0].src_label, posts[0].dst_label) == ("User", "Tweet")
+    assert posts[0].count == 3
+
+
+def test_edge_connects_directional(social_graph):
+    schema = infer_schema(social_graph)
+    assert schema.edge_connects("User", "POSTS", "Tweet")
+    assert not schema.edge_connects("Tweet", "POSTS", "User")
+    assert schema.edge_connects("Tweet", "RETWEETS", "Tweet")
+
+
+def test_has_properties(social_graph):
+    schema = infer_schema(social_graph)
+    assert schema.has_node_property("User", "name")
+    assert not schema.has_node_property("User", "password")
+    assert schema.has_edge_property("FOLLOWS", "since")
+    assert not schema.has_edge_property("POSTS", "since")
+
+
+def test_property_profile_statistics():
+    graph = PropertyGraph()
+    graph.add_node("a", "X", {"k": 1})
+    graph.add_node("b", "X", {"k": 1})
+    graph.add_node("c", "X", {})
+    schema = infer_schema(graph)
+    profile = schema.node_profiles["X"].properties["k"]
+    assert profile.present == 2
+    assert profile.completeness(3) == 2 / 3
+    assert profile.uniqueness() == 0.5  # one distinct value, two rows
+    assert profile.dominant_type == "integer"
+
+
+def test_type_names():
+    graph = PropertyGraph()
+    graph.add_node("a", "X", {
+        "s": "x", "i": 3, "f": 1.5, "b": True, "l": [1, 2],
+    })
+    profile = infer_schema(graph).node_profiles["X"]
+    types = {k: p.dominant_type for k, p in profile.properties.items()}
+    assert types == {
+        "s": "string", "i": "integer", "f": "float",
+        "b": "boolean", "l": "list",
+    }
+
+
+def test_mandatory_and_candidate_keys():
+    graph = PropertyGraph()
+    for index in range(10):
+        props = {"id": index, "group": index % 2}
+        if index != 0:
+            props["opt"] = index
+        graph.add_node(f"n{index}", "X", props)
+    profile = infer_schema(graph).node_profiles["X"]
+    assert profile.mandatory_keys() == ["group", "id"]
+    assert profile.mandatory_keys(threshold=0.5) == ["group", "id", "opt"]
+    assert profile.candidate_keys() == ["id"]
+
+
+def test_describe_mentions_everything(social_graph):
+    text = infer_schema(social_graph).describe()
+    assert "User" in text and "Tweet" in text
+    assert "(User)-[:POSTS]->(Tweet)" in text
+    assert "since" in text
+
+
+def test_multilabel_node_counted_in_each_profile():
+    graph = PropertyGraph()
+    graph.add_node("a", ["A", "B"], {"k": 1})
+    graph.add_node("x", "A")
+    graph.add_node("y", "B")
+    graph.add_edge("e", "R", "a", "x")
+    schema = infer_schema(graph)
+    assert schema.node_profiles["A"].count == 2
+    assert schema.node_profiles["B"].count == 2
+    # the multi-label source yields one signature per label combination
+    pairs = {(s.src_label, s.dst_label)
+             for s in schema.endpoint_signatures("R")}
+    assert pairs == {("A", "A"), ("B", "A")}

@@ -1,0 +1,23 @@
+"""Unit tests for graph statistics (Table 1 machinery)."""
+
+from repro.graph import PropertyGraph, compute_statistics
+
+
+def test_statistics_on_social_graph(social_graph):
+    stats = compute_statistics(social_graph)
+    assert stats.as_table1_row() == ("social", 5, 5, 2, 3)
+    assert stats.node_label_counts == {"User": 2, "Tweet": 3}
+    assert stats.edge_label_counts == {
+        "POSTS": 3, "RETWEETS": 1, "FOLLOWS": 1,
+    }
+    # u1 has degree 3 (p1, p3 out; f1 out); t1 has degree 2
+    assert stats.max_degree == 3
+    assert stats.avg_degree == 10 / 5  # 2 endpoints per edge
+
+
+def test_statistics_empty_graph():
+    stats = compute_statistics(PropertyGraph("x"))
+    assert stats.nodes == 0
+    assert stats.edges == 0
+    assert stats.max_degree == 0
+    assert stats.avg_degree == 0.0

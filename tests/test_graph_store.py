@@ -1,0 +1,131 @@
+"""Unit tests for the indexed graph store."""
+
+import pytest
+
+from repro.graph import (
+    DanglingEdgeError,
+    DuplicateElementError,
+    ElementNotFoundError,
+    PropertyGraph,
+)
+
+
+@pytest.fixture()
+def graph():
+    g = PropertyGraph("t")
+    g.add_node("a", "Person", {"name": "A"})
+    g.add_node("b", "Person", {"name": "B"})
+    g.add_node("c", "City", {"name": "C"})
+    g.add_edge("e1", "KNOWS", "a", "b")
+    g.add_edge("e2", "LIVES_IN", "a", "c")
+    g.add_edge("e3", "LIVES_IN", "b", "c")
+    return g
+
+
+class TestMutation:
+    def test_duplicate_node_rejected(self, graph):
+        with pytest.raises(DuplicateElementError):
+            graph.add_node("a", "Person")
+
+    def test_duplicate_edge_rejected(self, graph):
+        with pytest.raises(DuplicateElementError):
+            graph.add_edge("e1", "KNOWS", "a", "b")
+
+    def test_dangling_edge_rejected(self, graph):
+        with pytest.raises(DanglingEdgeError):
+            graph.add_edge("e9", "KNOWS", "a", "nope")
+
+    def test_update_node_merges(self, graph):
+        graph.update_node("a", {"age": 3})
+        assert graph.node("a").properties == {"name": "A", "age": 3}
+
+    def test_remove_node_property(self, graph):
+        graph.remove_node_property("a", "name")
+        assert graph.node("a").properties == {}
+
+    def test_update_edge(self, graph):
+        graph.update_edge("e1", {"since": 2020})
+        assert graph.edge("e1").properties == {"since": 2020}
+
+    def test_remove_edge_deindexes(self, graph):
+        graph.remove_edge("e1")
+        assert not graph.has_edge("e1")
+        assert graph.edge_count("KNOWS") == 0
+        assert list(graph.out_edges("a", "KNOWS")) == []
+
+    def test_remove_node_cascades_edges(self, graph):
+        graph.remove_node("c")
+        assert not graph.has_node("c")
+        assert graph.edge_count("LIVES_IN") == 0
+        assert graph.edge_count() == 1  # only KNOWS remains
+
+    def test_lookup_missing_raises(self, graph):
+        with pytest.raises(ElementNotFoundError):
+            graph.node("zzz")
+        with pytest.raises(ElementNotFoundError):
+            graph.edge("zzz")
+
+
+class TestScans:
+    def test_nodes_by_label_uses_index(self, graph):
+        assert [n.id for n in graph.nodes("Person")] == ["a", "b"]
+        assert [n.id for n in graph.nodes("City")] == ["c"]
+        assert [n.id for n in graph.nodes("Nope")] == []
+
+    def test_all_nodes_in_insertion_order(self, graph):
+        assert [n.id for n in graph.nodes()] == ["a", "b", "c"]
+
+    def test_edges_by_label(self, graph):
+        assert [e.id for e in graph.edges("LIVES_IN")] == ["e2", "e3"]
+
+    def test_adjacency(self, graph):
+        assert [e.id for e in graph.out_edges("a")] == ["e1", "e2"]
+        assert [e.id for e in graph.in_edges("c")] == ["e2", "e3"]
+        assert [e.id for e in graph.out_edges("a", "KNOWS")] == ["e1"]
+        assert [e.id for e in graph.incident_edges("b")] == ["e3", "e1"]
+
+    def test_degree(self, graph):
+        assert graph.degree("a") == 2
+        assert graph.degree("c") == 2
+        assert graph.degree("b") == 2
+
+    def test_vocabulary(self, graph):
+        assert graph.node_labels() == ["City", "Person"]
+        assert graph.edge_labels() == ["KNOWS", "LIVES_IN"]
+
+    def test_counts(self, graph):
+        assert graph.node_count() == 3
+        assert graph.node_count("Person") == 2
+        assert graph.edge_count() == 3
+        assert graph.edge_count("LIVES_IN") == 2
+        assert len(graph) == 3
+
+    def test_label_gone_after_removal(self, graph):
+        graph.remove_node("c")
+        assert graph.node_labels() == ["Person"]
+
+
+class TestMultiLabel:
+    def test_node_in_both_label_indexes(self):
+        g = PropertyGraph()
+        g.add_node("x", ["A", "B"])
+        assert [n.id for n in g.nodes("A")] == ["x"]
+        assert [n.id for n in g.nodes("B")] == ["x"]
+        g.remove_node("x")
+        assert g.node_labels() == []
+
+    def test_parallel_edges_allowed(self):
+        g = PropertyGraph()
+        g.add_node("a", "X")
+        g.add_node("b", "X")
+        g.add_edge("e1", "R", "a", "b")
+        g.add_edge("e2", "R", "a", "b")
+        assert g.edge_count("R") == 2
+
+    def test_self_loop_allowed(self):
+        g = PropertyGraph()
+        g.add_node("a", "X")
+        g.add_edge("e1", "R", "a", "a")
+        assert [e.id for e in g.out_edges("a")] == ["e1"]
+        assert [e.id for e in g.in_edges("a")] == ["e1"]
+        assert g.degree("a") == 2

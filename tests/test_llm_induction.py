@@ -1,0 +1,216 @@
+"""Unit tests for the induction engine (proposals from visible views)."""
+
+from repro.llm.induction import InductionEngine
+from repro.llm.prompt_io import parse_visible_graph
+from repro.rules import RuleKind
+
+
+def engine_for(text):
+    return InductionEngine(parse_visible_graph(text))
+
+
+def proposals_of_kind(text, kind):
+    return [
+        p for p in engine_for(text).propose() if p.rule.kind is kind
+    ]
+
+
+def node(node_id, label, props):
+    return f"Node {node_id} with label {label} has properties ({props})."
+
+
+def edge(src, src_l, dst, dst_l, eid, label, props=""):
+    return (
+        f"Node {src} ({src_l}) connects to node {dst} ({dst_l}) via edge "
+        f"{eid} with label {label} and properties ({props})."
+    )
+
+
+class TestPropertyRules:
+    def test_complete_property_proposed(self):
+        text = "\n".join(node(f"u{i}", "User", f"id: {i}") for i in range(5))
+        found = proposals_of_kind(text, RuleKind.PROPERTY_EXISTS)
+        assert any(p.rule.properties == ("id",) for p in found)
+
+    def test_sparse_property_not_proposed(self):
+        lines = [node(f"u{i}", "User", "id: 1") for i in range(8)]
+        lines += [node(f"v{i}", "User", "id: 1, extra: 2")
+                  for i in range(2)]  # 20% completeness for 'extra'
+        found = proposals_of_kind("\n".join(lines), RuleKind.PROPERTY_EXISTS)
+        assert not any(p.rule.properties == ("extra",) for p in found)
+
+    def test_single_node_label_ignored(self):
+        found = engine_for(node("a", "Solo", "x: 1")).propose()
+        assert found == []
+
+    def test_uniqueness_for_distinct_id(self):
+        text = "\n".join(
+            node(f"u{i}", "User", f"id: {i}") for i in range(6)
+        )
+        found = proposals_of_kind(text, RuleKind.UNIQUENESS)
+        assert len(found) == 1
+        assert found[0].rule.properties == ("id",)
+
+    def test_no_uniqueness_when_duplicates_visible(self):
+        text = "\n".join(node(f"u{i}", "User", "id: 7") for i in range(6))
+        assert proposals_of_kind(text, RuleKind.UNIQUENESS) == []
+
+    def test_boolean_domain(self):
+        lines = [node(f"u{i}", "User", f"owned: {i % 2 == 0}")
+                 for i in range(6)]
+        found = proposals_of_kind("\n".join(lines), RuleKind.VALUE_DOMAIN)
+        assert any(p.rule.allowed_values == (True, False) for p in found)
+
+    def test_categorical_domain_from_visible_values(self):
+        lines = [
+            node(f"m{i}", "Match", f"stage: '{'Group' if i < 7 else 'Final'}'")
+            for i in range(10)
+        ]
+        found = proposals_of_kind("\n".join(lines), RuleKind.VALUE_DOMAIN)
+        assert any(
+            p.rule.allowed_values == ("Final", "Group") for p in found
+        )
+
+    def test_format_detection_date(self):
+        lines = [
+            node(f"p{i}", "Person", f"dob: '19{80 + i}-01-0{i + 1}'")
+            for i in range(4)
+        ]
+        found = proposals_of_kind("\n".join(lines), RuleKind.VALUE_FORMAT)
+        assert len(found) == 1
+
+    def test_format_detection_url(self):
+        lines = [
+            node(f"l{i}", "Link", f"url: 'https://site{i}.com/x'")
+            for i in range(4)
+        ]
+        found = proposals_of_kind("\n".join(lines), RuleKind.VALUE_FORMAT)
+        assert found and "https?" in found[0].rule.pattern_regex
+
+
+class TestEdgeRules:
+    def _posts(self, count=4):
+        lines = []
+        for i in range(count):
+            lines.append(node(f"u{i}", "User", f"id: {i}"))
+            lines.append(node(f"t{i}", "Tweet", f"id: {i + 100}"))
+            lines.append(edge(f"u{i}", "User", f"t{i}", "Tweet",
+                              f"e{i}", "POSTS"))
+        return "\n".join(lines)
+
+    def test_endpoint_rule(self):
+        found = proposals_of_kind(self._posts(), RuleKind.ENDPOINT)
+        assert len(found) == 1
+        rule = found[0].rule
+        assert (rule.src_label, rule.dst_label) == ("User", "Tweet")
+
+    def test_endpoint_needs_consistent_pairs(self):
+        text = self._posts() + "\n" + edge(
+            "t0", "Tweet", "u1", "User", "weird", "POSTS"
+        )
+        assert proposals_of_kind(text, RuleKind.ENDPOINT) == []
+
+    def test_edge_property_rule(self):
+        lines = []
+        for i in range(4):
+            lines.append(edge(f"a{i}", "P", f"b{i}", "M", f"g{i}",
+                              "SCORED_GOAL", f"minute: {i + 1}"))
+        found = proposals_of_kind(
+            "\n".join(lines), RuleKind.EDGE_PROP_EXISTS
+        )
+        assert found and found[0].rule.properties == ("minute",)
+
+    def test_no_self_loop_rule(self):
+        lines = [
+            edge(f"u{i}", "User", f"u{i + 1}", "User", f"f{i}", "FOLLOWS")
+            for i in range(6)
+        ]
+        found = proposals_of_kind("\n".join(lines), RuleKind.NO_SELF_LOOP)
+        assert found and found[0].rule.edge_label == "FOLLOWS"
+
+    def test_self_loop_observed_suppresses_rule(self):
+        lines = [
+            edge(f"u{i}", "User", f"u{i + 1}", "User", f"f{i}", "FOLLOWS")
+            for i in range(6)
+        ]
+        lines.append(edge("u9", "User", "u9", "User", "f9", "FOLLOWS"))
+        assert proposals_of_kind(
+            "\n".join(lines), RuleKind.NO_SELF_LOOP
+        ) == []
+
+    def test_temporal_unique_rule(self):
+        lines = [
+            edge(f"p{i}", "P", f"m{i}", "M", f"g{i}", "SCORED_GOAL",
+                 f"minute: {10 + i}")
+            for i in range(4)
+        ]
+        found = proposals_of_kind(
+            "\n".join(lines), RuleKind.TEMPORAL_UNIQUE
+        )
+        assert found and found[0].rule.time_property == "minute"
+
+
+class TestJoinRules:
+    def test_mandatory_edge_incoming(self):
+        lines = []
+        for i in range(6):
+            lines.append(node(f"t{i}", "Tweet", f"id: {i}"))
+            lines.append(edge(f"u{i}", "User", f"t{i}", "Tweet",
+                              f"e{i}", "POSTS"))
+        found = proposals_of_kind(
+            "\n".join(lines), RuleKind.MANDATORY_EDGE
+        )
+        incoming = [p for p in found if p.rule.label == "Tweet"]
+        assert incoming
+        assert incoming[0].rule.src_label == "User"
+
+    def test_mandatory_edge_not_proposed_below_threshold(self):
+        lines = [node(f"t{i}", "Tweet", f"id: {i}") for i in range(10)]
+        for i in range(5):  # only half the tweets have a poster
+            lines.append(edge(f"u{i}", "User", f"t{i}", "Tweet",
+                              f"e{i}", "POSTS"))
+        found = proposals_of_kind(
+            "\n".join(lines), RuleKind.MANDATORY_EDGE
+        )
+        assert not any(p.rule.label == "Tweet" for p in found)
+
+    def test_temporal_order_needs_both_endpoints_visible(self):
+        lines = [
+            node("t1", "Tweet", "created_at: '2021-01-02'"),
+            node("t2", "Tweet", "created_at: '2021-01-01'"),
+            node("t3", "Tweet", "created_at: '2021-01-03'"),
+            edge("t1", "Tweet", "t2", "Tweet", "r1", "RETWEETS"),
+            edge("t3", "Tweet", "t1", "Tweet", "r2", "RETWEETS"),
+        ]
+        found = proposals_of_kind(
+            "\n".join(lines), RuleKind.TEMPORAL_ORDER
+        )
+        assert found and found[0].rule.time_property == "created_at"
+
+    def test_temporal_order_rejected_on_violation(self):
+        lines = [
+            node("t1", "Tweet", "created_at: '2021-01-01'"),  # earlier!
+            node("t2", "Tweet", "created_at: '2021-01-02'"),
+            node("t3", "Tweet", "created_at: '2021-01-03'"),
+            edge("t1", "Tweet", "t2", "Tweet", "r1", "RETWEETS"),
+            edge("t3", "Tweet", "t1", "Tweet", "r2", "RETWEETS"),
+        ]
+        assert proposals_of_kind(
+            "\n".join(lines), RuleKind.TEMPORAL_ORDER
+        ) == []
+
+    def test_pattern_rule_two_hop(self):
+        lines = []
+        for i in range(4):
+            lines.append(node(f"p{i}", "Person", f"id: {i}"))
+            lines.append(node(f"s{i}", "Squad", f"id: {i}"))
+            lines.append(edge(f"p{i}", "Person", f"s{i}", "Squad",
+                              f"m{i}", "IN_SQUAD"))
+            lines.append(edge(f"s{i}", "Squad", "tour", "Tournament",
+                              f"f{i}", "FOR"))
+        found = proposals_of_kind("\n".join(lines), RuleKind.PATTERN)
+        assert any(
+            p.rule.label == "Person"
+            and p.rule.scope_edge_label == "FOR"
+            for p in found
+        )

@@ -1,0 +1,96 @@
+"""Unit tests for support / coverage / confidence."""
+
+import pytest
+
+from repro.graph import infer_schema
+from repro.metrics import (
+    AggregateMetrics,
+    RuleMetrics,
+    aggregate,
+    evaluate_rule,
+)
+from repro.rules import ConsistencyRule, RuleKind, RuleTranslator
+from repro.rules.translator import MetricQueries
+
+
+class TestRuleMetrics:
+    def test_coverage_and_confidence(self):
+        metrics = RuleMetrics(support=50, relevant=100, body=80)
+        assert metrics.coverage == 50.0
+        assert metrics.confidence == 62.5
+
+    def test_zero_denominators(self):
+        metrics = RuleMetrics(support=0, relevant=0, body=0)
+        assert metrics.coverage == 0.0
+        assert metrics.confidence == 0.0
+
+    def test_capped_at_100(self):
+        metrics = RuleMetrics(support=150, relevant=100, body=100)
+        assert metrics.coverage == 100.0
+        assert metrics.confidence == 100.0
+
+    @pytest.mark.parametrize("support,relevant,body", [
+        (0, 10, 10), (5, 10, 7), (10, 10, 10),
+    ])
+    def test_bounds_invariant(self, support, relevant, body):
+        metrics = RuleMetrics(support=support, relevant=relevant, body=body)
+        assert 0.0 <= metrics.coverage <= 100.0
+        assert 0.0 <= metrics.confidence <= 100.0
+
+
+class TestAggregate:
+    def test_empty(self):
+        assert aggregate([]) == AggregateMetrics(0, 0.0, 0.0, 0.0)
+
+    def test_averages(self):
+        cells = aggregate([
+            RuleMetrics(support=10, relevant=10, body=10),
+            RuleMetrics(support=0, relevant=10, body=10),
+        ])
+        assert cells.rule_count == 2
+        assert cells.avg_support == 5.0
+        assert cells.avg_coverage == 50.0
+        assert cells.avg_confidence == 50.0
+
+
+class TestEvaluateRule:
+    def test_against_translator(self, sports_graph):
+        translator = RuleTranslator(infer_schema(sports_graph))
+        rule = ConsistencyRule(
+            RuleKind.PROPERTY_EXISTS, "", label="Match",
+            properties=("date",),
+        )
+        metrics = evaluate_rule(sports_graph, translator.translate(rule))
+        assert metrics == RuleMetrics(support=2, relevant=2, body=2)
+        assert metrics.coverage == 100.0
+
+    def test_failing_query_scores_zero(self, sports_graph):
+        queries = MetricQueries(
+            check="MATCH (n RETURN count(*) AS c",       # syntax error
+            relevant="MATCH (n RETURN count(*) AS c",
+            body="MATCH (n RETURN count(*) AS c",
+            satisfy="MATCH (n RETURN count(*) AS c",
+        )
+        metrics = evaluate_rule(sports_graph, queries)
+        assert metrics == RuleMetrics(support=0, relevant=0, body=0)
+
+    def test_hallucinated_property_scores_zero_support(self, sports_graph):
+        translator = RuleTranslator(infer_schema(sports_graph))
+        rule = ConsistencyRule(
+            RuleKind.PROPERTY_EXISTS, "", label="Match",
+            properties=("penaltyScore",),   # does not exist
+        )
+        metrics = evaluate_rule(sports_graph, translator.translate(rule))
+        assert metrics.support == 0
+        assert metrics.relevant == 2        # matches still exist
+        assert metrics.coverage == 0.0
+
+    def test_non_numeric_result_counts_zero(self, sports_graph):
+        queries = MetricQueries(
+            check="MATCH (m:Match) RETURN m.stage AS s",
+            relevant="MATCH (m:Match) RETURN m.stage AS s",
+            body="MATCH (m:Match) RETURN m.stage AS s",
+            satisfy="MATCH (m:Match) RETURN m.stage AS s",
+        )
+        metrics = evaluate_rule(sports_graph, queries)
+        assert metrics.support == 0

@@ -1,0 +1,90 @@
+"""Tests for mining-run JSON persistence."""
+
+import pytest
+
+from repro.mining import (
+    PipelineContext,
+    SlidingWindowPipeline,
+    load_runs,
+    rule_from_dict,
+    rule_to_dict,
+    run_from_dict,
+    run_to_dict,
+    save_runs,
+)
+from repro.rules import ConsistencyRule, RuleKind
+
+
+@pytest.fixture(scope="module")
+def run(cyber_dataset):
+    context = PipelineContext.build(cyber_dataset)
+    return SlidingWindowPipeline(context).mine("mixtral", "zero_shot")
+
+
+class TestRuleRoundTrip:
+    def test_all_fields_preserved(self):
+        rule = ConsistencyRule(
+            kind=RuleKind.PRIMARY_KEY, text="t", label="Match",
+            properties=("id",), scope_label="Tournament",
+            scope_edge_label="IN_TOURNAMENT", provenance="w3",
+        )
+        rebuilt = rule_from_dict(rule_to_dict(rule))
+        assert rebuilt == rule
+
+    def test_allowed_values_types_preserved(self):
+        rule = ConsistencyRule(
+            kind=RuleKind.VALUE_DOMAIN, text="t", label="U",
+            properties=("owned",), allowed_values=(True, False),
+        )
+        rebuilt = rule_from_dict(rule_to_dict(rule))
+        assert rebuilt.allowed_values == (True, False)
+
+
+class TestRunRoundTrip:
+    def test_preserves_table_cells(self, run):
+        rebuilt = run_from_dict(run_to_dict(run))
+        assert rebuilt.key() == run.key()
+        assert rebuilt.rule_count == run.rule_count
+        assert rebuilt.correct_queries == run.correct_queries
+        assert rebuilt.error_census() == run.error_census()
+        original = run.aggregate_metrics()
+        restored = rebuilt.aggregate_metrics()
+        assert restored.avg_support == original.avg_support
+        assert restored.avg_coverage == original.avg_coverage
+        assert restored.avg_confidence == original.avg_confidence
+        assert rebuilt.mining_seconds == run.mining_seconds
+
+    def test_preserves_queries_and_outcomes(self, run):
+        rebuilt = run_from_dict(run_to_dict(run))
+        for old, new in zip(run.results, rebuilt.results):
+            assert new.rule.signature() == old.rule.signature()
+            assert new.outcome.final_query == old.outcome.final_query
+            assert new.outcome.corrected == old.outcome.corrected
+            assert (new.outcome.classification.is_correct
+                    == old.outcome.classification.is_correct)
+
+    def test_file_round_trip(self, run, tmp_path):
+        path = tmp_path / "runs.json"
+        save_runs([run, run], path)
+        restored = load_runs(path)
+        assert len(restored) == 2
+        assert restored[0].key() == run.key()
+
+    def test_version_guard(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "runs": []}')
+        with pytest.raises(ValueError):
+            load_runs(path)
+
+    def test_restored_metric_queries_still_execute(self, run,
+                                                   cyber_dataset):
+        from repro.metrics import evaluate_rule
+
+        rebuilt = run_from_dict(run_to_dict(run))
+        for old, new in zip(run.results, rebuilt.results):
+            if new.outcome.metric_queries is None:
+                continue
+            metrics = evaluate_rule(
+                cyber_dataset.graph, new.outcome.metric_queries
+            )
+            assert metrics == old.metrics

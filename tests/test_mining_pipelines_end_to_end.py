@@ -1,0 +1,145 @@
+"""End-to-end tests for the two mining pipelines on a small dataset."""
+
+import pytest
+
+from repro.datasets.base import Dataset, DirtReport
+from repro.graph import PropertyGraph
+from repro.mining import (
+    PipelineContext,
+    RAGPipeline,
+    SlidingWindowPipeline,
+)
+
+
+@pytest.fixture(scope="module")
+def small_context():
+    """A dirty mid-sized graph: enough statements for several windows."""
+    graph = PropertyGraph("mini")
+    for index in range(60):
+        graph.add_node(f"u{index}", "User", {
+            "id": index, "screen_name": f"@user{index}",
+        })
+    for index in range(120):
+        graph.add_node(f"t{index}", "Tweet", {
+            "id": index,
+            "text": f"tweet number {index}",
+            "created_at": f"2021-02-{(index % 28) + 1:02d}T08:00:00",
+        })
+        graph.add_edge(f"p{index}", "POSTS", f"u{index % 60}", f"t{index}")
+    for index in range(30):
+        graph.add_edge(f"f{index}", "FOLLOWS",
+                       f"u{index}", f"u{(index + 7) % 60}")
+    # dirt: duplicate tweet ids + one self-follow
+    graph.update_node("t119", {"id": 0})
+    graph.remove_edge("f29")
+    graph.add_edge("f29", "FOLLOWS", "u3", "u3")
+    dataset = Dataset(graph=graph, true_rules=[], dirt=DirtReport())
+    return PipelineContext.build(dataset)
+
+
+class TestSlidingWindowPipeline:
+    def test_run_produces_rules_and_metrics(self, small_context):
+        pipeline = SlidingWindowPipeline(
+            small_context, window_size=1500, overlap=150
+        )
+        run = pipeline.mine("llama3", "zero_shot")
+        assert run.method == "sliding_window"
+        assert run.window_count >= 3
+        assert run.rule_count >= 3
+        assert run.mining_seconds > 0
+        assert run.cypher_seconds > 0
+        for result in run.results:
+            assert result.rule.text
+            assert result.outcome.final_query
+            assert 0 <= result.metrics.coverage <= 100
+
+    def test_deterministic_across_runs(self, small_context):
+        pipeline = SlidingWindowPipeline(
+            small_context, window_size=1500, overlap=150
+        )
+        first = pipeline.mine("llama3", "zero_shot")
+        second = pipeline.mine("llama3", "zero_shot")
+        assert [r.rule.text for r in first.results] == \
+            [r.rule.text for r in second.results]
+        assert first.mining_seconds == second.mining_seconds
+
+    def test_seed_changes_runs(self, small_context):
+        run_a = SlidingWindowPipeline(
+            small_context, window_size=1500, overlap=150, base_seed=1
+        ).mine("mixtral", "zero_shot")
+        run_b = SlidingWindowPipeline(
+            small_context, window_size=1500, overlap=150, base_seed=2
+        ).mine("mixtral", "zero_shot")
+        # different seeds may change rule selection or faults; at minimum
+        # both still produce valid runs
+        assert run_a.rule_count >= 1
+        assert run_b.rule_count >= 1
+
+    def test_uniqueness_rule_detects_planted_duplicate(self, small_context):
+        pipeline = SlidingWindowPipeline(
+            small_context, window_size=1500, overlap=150
+        )
+        run = pipeline.mine("llama3", "zero_shot")
+        uniq = [
+            r for r in run.results
+            if r.rule.kind.value == "uniqueness" and r.rule.label == "Tweet"
+        ]
+        assert uniq
+        # 120 tweets, ids 0 and 119 collide -> 118 unique values
+        assert uniq[0].metrics.support == 118
+
+    def test_aggregate_metrics_bounds(self, small_context):
+        run = SlidingWindowPipeline(
+            small_context, window_size=1500, overlap=150
+        ).mine("mixtral", "few_shot")
+        metrics = run.aggregate_metrics()
+        assert metrics.rule_count == run.rule_count
+        assert 0 <= metrics.avg_coverage <= 100
+        assert 0 <= metrics.avg_confidence <= 100
+
+
+class TestRAGPipeline:
+    def test_run_uses_single_call_context(self, small_context):
+        pipeline = RAGPipeline(small_context, chunk_tokens=200, top_k=4)
+        run = pipeline.mine("llama3", "zero_shot")
+        assert run.method == "rag"
+        assert run.retrieved_chunks == 4
+        assert run.total_chunks > 4
+        assert run.rule_count >= 1
+
+    def test_rag_faster_than_swa(self, small_context):
+        swa = SlidingWindowPipeline(
+            small_context, window_size=1500, overlap=150
+        ).mine("llama3", "zero_shot")
+        rag = RAGPipeline(
+            small_context, chunk_tokens=200, top_k=4
+        ).mine("llama3", "zero_shot")
+        assert rag.mining_seconds < swa.mining_seconds
+
+    def test_rag_sees_fewer_rules_or_equal(self, small_context):
+        swa = SlidingWindowPipeline(
+            small_context, window_size=1500, overlap=150
+        ).mine("llama3", "zero_shot")
+        rag = RAGPipeline(
+            small_context, chunk_tokens=200, top_k=4
+        ).mine("llama3", "zero_shot")
+        assert rag.rule_count <= swa.rule_count
+
+    def test_index_built_once(self, small_context):
+        pipeline = RAGPipeline(small_context, chunk_tokens=200, top_k=4)
+        pipeline.mine("llama3", "zero_shot")
+        chunks_after_first = pipeline.retriever._chunk_count
+        pipeline.mine("mixtral", "zero_shot")
+        assert pipeline.retriever._chunk_count == chunks_after_first
+
+
+class TestTable6Accounting:
+    def test_correctness_counts(self, small_context):
+        run = SlidingWindowPipeline(
+            small_context, window_size=1500, overlap=150
+        ).mine("mixtral", "zero_shot")
+        assert run.generated_queries == run.rule_count
+        assert 0 <= run.correct_queries <= run.generated_queries
+        census = run.error_census()
+        assert sum(census.values()) == \
+            run.generated_queries - run.correct_queries

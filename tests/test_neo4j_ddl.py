@@ -1,0 +1,96 @@
+"""Tests for the Neo4j constraint-DDL export."""
+
+from repro.graph import infer_schema
+from repro.rules import (
+    ConsistencyRule,
+    RuleKind,
+    RuleTranslator,
+    export_rules,
+    rule_to_neo4j_ddl,
+    rule_to_quality_check,
+)
+
+
+def rule(kind, **kw):
+    return ConsistencyRule(kind=kind, text=kw.pop("text", "the rule"), **kw)
+
+
+class TestConstraintRendering:
+    def test_uniqueness(self):
+        ddl = rule_to_neo4j_ddl(rule(
+            RuleKind.UNIQUENESS, label="Tweet", properties=("id",),
+        ))
+        assert ddl == (
+            "CREATE CONSTRAINT tweet_id_unique IF NOT EXISTS "
+            "FOR (n:Tweet) REQUIRE n.id IS UNIQUE;"
+        )
+
+    def test_property_exists_multi(self):
+        ddl = rule_to_neo4j_ddl(rule(
+            RuleKind.PROPERTY_EXISTS, label="Match",
+            properties=("date", "stage"),
+        ))
+        assert ddl.count("CREATE CONSTRAINT") == 2
+        assert "REQUIRE n.date IS NOT NULL" in ddl
+        assert "REQUIRE n.stage IS NOT NULL" in ddl
+
+    def test_edge_property_exists(self):
+        ddl = rule_to_neo4j_ddl(rule(
+            RuleKind.EDGE_PROP_EXISTS, edge_label="SCORED_GOAL",
+            properties=("minute",),
+        ))
+        assert "FOR ()-[r:SCORED_GOAL]-()" in ddl
+        assert "REQUIRE r.minute IS NOT NULL" in ddl
+
+    def test_unenforceable_kinds_return_none(self):
+        assert rule_to_neo4j_ddl(rule(
+            RuleKind.NO_SELF_LOOP, label="User", edge_label="FOLLOWS",
+        )) is None
+        assert rule_to_neo4j_ddl(rule(
+            RuleKind.TEMPORAL_ORDER, edge_label="RETWEETS",
+            src_label="Tweet", dst_label="Tweet",
+            time_property="created_at",
+        )) is None
+
+
+class TestQualityChecks:
+    def test_check_uses_violation_query(self, social_graph):
+        schema = infer_schema(social_graph)
+        translator = RuleTranslator(schema)
+        the_rule = rule(
+            RuleKind.NO_SELF_LOOP, label="User", edge_label="FOLLOWS",
+        )
+        queries = translator.translate(the_rule)
+        block = rule_to_quality_check(the_rule, queries)
+        assert block.startswith("// consistency rule:")
+        assert "WHERE a = b" in block
+
+
+class TestExport:
+    def test_export_sections(self, social_graph):
+        schema = infer_schema(social_graph)
+        translator = RuleTranslator(schema)
+        rules = [
+            rule(RuleKind.UNIQUENESS, label="Tweet", properties=("id",)),
+            rule(RuleKind.NO_SELF_LOOP, label="User",
+                 edge_label="FOLLOWS"),
+        ]
+        text = export_rules([
+            (r, translator.translate(r)) for r in rules
+        ])
+        assert "enforceable as Neo4j constraints" in text
+        assert "scheduled quality checks" in text
+        assert "IS UNIQUE" in text
+
+    def test_export_from_mined_run(self, cyber_dataset):
+        from repro.mining import PipelineContext, SlidingWindowPipeline
+
+        context = PipelineContext.build(cyber_dataset)
+        run = SlidingWindowPipeline(context).mine("llama3", "zero_shot")
+        pairs = [
+            (result.rule, result.outcome.metric_queries)
+            for result in run.results
+            if result.outcome.metric_queries is not None
+        ]
+        text = export_rules(pairs)
+        assert "CREATE CONSTRAINT" in text

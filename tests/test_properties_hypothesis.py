@@ -1,0 +1,271 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import string
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cypher import CypherSyntaxError, parse, render_query, tokenize
+from repro.cypher.executor import _canonical, _sort_key
+from repro.encoding import (
+    SlidingWindowChunker,
+    Statement,
+    count_tokens,
+    split_tokens,
+    token_spans,
+)
+from repro.graph import PropertyGraph
+from repro.metrics import RuleMetrics
+from repro.rag import HashedEmbedder
+from repro.rules import (
+    ConsistencyRule,
+    RuleKind,
+    from_natural_language,
+    to_natural_language,
+)
+
+# ----------------------------------------------------------------------
+# identifier strategies
+# ----------------------------------------------------------------------
+identifiers = st.text(
+    alphabet=string.ascii_letters, min_size=1, max_size=12
+).filter(lambda s: s.upper() not in {
+    # avoid reserved words that change parse behaviour
+    "MATCH", "WHERE", "WITH", "RETURN", "AS", "AND", "OR", "XOR", "NOT",
+    "IN", "IS", "NULL", "TRUE", "FALSE", "DISTINCT", "ORDER", "BY",
+    "ASC", "ASCENDING", "DESC", "DESCENDING", "SKIP", "LIMIT", "UNWIND",
+    "STARTS", "ENDS", "CONTAINS", "EXISTS", "CASE", "WHEN", "THEN",
+    "ELSE", "END", "UNION", "ALL", "CREATE", "MERGE", "DELETE", "SET",
+    "REMOVE", "CALL", "YIELD",
+})
+
+
+# ----------------------------------------------------------------------
+# tokenizer
+# ----------------------------------------------------------------------
+@given(st.text(max_size=300))
+def test_token_spans_align_with_split(text):
+    spans = token_spans(text)
+    tokens = split_tokens(text)
+    assert len(spans) == len(tokens)
+    assert [text[a:b] for a, b in spans] == tokens
+
+
+@given(st.text(max_size=300))
+def test_count_tokens_non_negative_and_consistent(text):
+    assert count_tokens(text) == len(split_tokens(text))
+
+
+# ----------------------------------------------------------------------
+# lexer totality
+# ----------------------------------------------------------------------
+@given(st.text(max_size=120))
+def test_lexer_total_or_syntax_error(text):
+    try:
+        tokens = tokenize(text)
+    except CypherSyntaxError:
+        return
+    assert tokens[-1].type.name == "EOF"
+
+
+# ----------------------------------------------------------------------
+# parse/render fixpoint on generated queries
+# ----------------------------------------------------------------------
+@st.composite
+def simple_queries(draw):
+    var = draw(identifiers)
+    label = draw(identifiers)
+    prop = draw(identifiers)
+    rel = draw(identifiers)
+    direction = draw(st.sampled_from(["->", "-"]))
+    value = draw(st.integers(min_value=-100, max_value=100))
+    parts = [f"MATCH ({var}:{label})"]
+    if draw(st.booleans()):
+        parts[0] += f"-[:{rel}]{direction}({draw(identifiers)})"
+    if draw(st.booleans()):
+        parts.append(f"WHERE {var}.{prop} > {value}")
+    if draw(st.booleans()):
+        parts.append(f"RETURN count(*) AS {draw(identifiers)}")
+    else:
+        parts.append(f"RETURN {var}.{prop} AS out")
+    return " ".join(parts)
+
+
+@given(simple_queries())
+@settings(max_examples=60)
+def test_parse_render_fixpoint(query_text):
+    ast1 = parse(query_text)
+    ast2 = parse(render_query(ast1))
+    assert ast1 == ast2
+
+
+# ----------------------------------------------------------------------
+# sliding windows
+# ----------------------------------------------------------------------
+@st.composite
+def statement_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=40))
+    statements = []
+    for index in range(count):
+        words = draw(st.integers(min_value=1, max_value=20))
+        text = " ".join(f"w{index}x{j}" for j in range(words))
+        statements.append(
+            Statement(kind="node", text=text, subject_id=f"s{index}")
+        )
+    return statements
+
+
+@given(
+    statement_lists(),
+    st.integers(min_value=8, max_value=120),
+    st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=50)
+def test_window_invariants(statements, window_size, overlap):
+    chunker = SlidingWindowChunker(window_size=window_size, overlap=overlap)
+    windows = chunker.chunk_statements(statements)
+
+    # every token index covered exactly by the union of windows
+    covered = set()
+    for window in windows.windows:
+        assert window.token_count <= window_size
+        covered.update(range(window.start_token, window.end_token))
+    assert covered == set(range(windows.total_tokens))
+
+    # consecutive windows advance by exactly step
+    step = window_size - overlap
+    for first, second in zip(windows.windows, windows.windows[1:]):
+        assert second.start_token - first.start_token == step
+
+
+@given(statement_lists())
+@settings(max_examples=30)
+def test_windows_with_big_overlap_never_break_statements(statements):
+    longest = max(count_tokens(s.text) for s in statements)
+    chunker = SlidingWindowChunker(
+        window_size=max(4 * longest, 16), overlap=longest
+    )
+    windows = chunker.chunk_statements(statements)
+    assert windows.broken_statement_count == 0
+
+
+# ----------------------------------------------------------------------
+# NL round trip
+# ----------------------------------------------------------------------
+@given(identifiers, identifiers, identifiers)
+@settings(max_examples=50)
+def test_nl_round_trip_random_names(label, prop, edge):
+    for rule in (
+        ConsistencyRule(RuleKind.PROPERTY_EXISTS, "", label=label,
+                        properties=(prop,)),
+        ConsistencyRule(RuleKind.UNIQUENESS, "", label=label,
+                        properties=(prop,)),
+        ConsistencyRule(RuleKind.ENDPOINT, "", edge_label=edge,
+                        src_label=label, dst_label=label),
+        ConsistencyRule(RuleKind.NO_SELF_LOOP, "", label=label,
+                        edge_label=edge),
+    ):
+        sentence = to_natural_language(rule)
+        parsed = from_natural_language(sentence)
+        assert parsed is not None
+        assert parsed.kind == rule.kind
+        assert parsed.label == rule.label
+        assert parsed.properties == rule.properties
+        assert parsed.edge_label == rule.edge_label
+
+
+# ----------------------------------------------------------------------
+# metrics bounds
+# ----------------------------------------------------------------------
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_metric_bounds(support, relevant, body):
+    metrics = RuleMetrics(support=support, relevant=relevant, body=body)
+    assert 0.0 <= metrics.coverage <= 100.0
+    assert 0.0 <= metrics.confidence <= 100.0
+
+
+# ----------------------------------------------------------------------
+# embeddings
+# ----------------------------------------------------------------------
+@given(st.text(max_size=200))
+@settings(max_examples=50)
+def test_embedding_unit_norm_or_zero(text):
+    vector = HashedEmbedder(dimension=64).embed(text)
+    norm = float(np.linalg.norm(vector))
+    assert norm == 0.0 or abs(norm - 1.0) < 1e-9
+
+
+@given(st.text(max_size=100))
+def test_embedding_deterministic(text):
+    a = HashedEmbedder(dimension=32).embed(text)
+    b = HashedEmbedder(dimension=32).embed(text)
+    assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# sort keys form a usable total preorder over mixed values
+# ----------------------------------------------------------------------
+mixed_values = st.recursive(
+    st.one_of(
+        st.none(), st.booleans(), st.integers(), st.text(max_size=5),
+        st.floats(allow_nan=False, allow_infinity=False),
+    ),
+    lambda children: st.lists(children, max_size=3),
+    max_leaves=5,
+)
+
+
+@given(st.lists(mixed_values, max_size=12))
+@settings(max_examples=60)
+def test_sort_key_sorts_mixed_values(values):
+    ordered = sorted(values, key=_sort_key)
+    assert len(ordered) == len(values)
+    # None always sorts to the end
+    if None in values:
+        tail = ordered[ordered.index(None):]
+        assert all(item is None for item in tail)
+
+
+@given(st.lists(mixed_values, max_size=10))
+@settings(max_examples=60)
+def test_canonical_is_hashable(values):
+    keys = {_canonical(value) for value in values}
+    assert len(keys) <= len(values)
+
+
+# ----------------------------------------------------------------------
+# store invariants under random build sequences
+# ----------------------------------------------------------------------
+@st.composite
+def graph_builds(draw):
+    node_count = draw(st.integers(min_value=1, max_value=12))
+    edges = draw(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=node_count - 1),
+            st.integers(min_value=0, max_value=node_count - 1),
+        ),
+        max_size=20,
+    ))
+    return node_count, edges
+
+
+@given(graph_builds())
+@settings(max_examples=50)
+def test_store_degree_sums_to_twice_edges(build):
+    node_count, edges = build
+    graph = PropertyGraph()
+    for index in range(node_count):
+        graph.add_node(f"n{index}", "N")
+    for number, (src, dst) in enumerate(edges):
+        graph.add_edge(f"e{number}", "R", f"n{src}", f"n{dst}")
+    total_degree = sum(graph.degree(n.id) for n in graph.nodes())
+    assert total_degree == 2 * graph.edge_count()
+    # removing all edges brings degrees to zero
+    for edge in list(graph.edges()):
+        graph.remove_edge(edge.id)
+    assert all(graph.degree(n.id) == 0 for n in graph.nodes())

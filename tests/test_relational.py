@@ -1,0 +1,178 @@
+"""Tests for the relational-data bridge (§5)."""
+
+import pytest
+
+from repro.graph import infer_schema
+from repro.mining import PipelineContext, SlidingWindowPipeline
+from repro.datasets.base import Dataset, DirtReport
+from repro.relational import (
+    ForeignKey,
+    RelationalDatabase,
+    Table,
+    database_to_graph,
+    rule_to_sql,
+)
+from repro.rules import ConsistencyRule, RuleKind
+
+
+@pytest.fixture()
+def shop():
+    db = RelationalDatabase("shop")
+    customers = db.add_table(Table(
+        "Customer", ("id", "email", "country"), "id",
+    ))
+    orders = db.add_table(Table(
+        "Orders", ("id", "customer_id", "total", "status"), "id",
+        (ForeignKey("customer_id", "Customer", relationship="PLACED_BY"),),
+    ))
+    customers.insert_many([
+        {"id": i, "email": f"user{i}@example.com", "country": "FR"}
+        for i in range(10)
+    ])
+    orders.insert_many([
+        {"id": i, "customer_id": i % 10, "total": 5 * i,
+         "status": "paid" if i % 3 else "open"}
+        for i in range(25)
+    ])
+    return db
+
+
+class TestModel:
+    def test_pk_must_be_column(self):
+        with pytest.raises(ValueError):
+            Table("T", ("a",), "b")
+
+    def test_fk_column_must_exist(self):
+        with pytest.raises(ValueError):
+            Table("T", ("a",), "a", (ForeignKey("zz", "U"),))
+
+    def test_insert_rejects_unknown_columns(self, shop):
+        with pytest.raises(ValueError):
+            shop.table("Customer").insert({"id": 99, "ghost": 1})
+
+    def test_insert_nulls_missing_columns(self, shop):
+        shop.table("Customer").insert({"id": 99})
+        row = shop.table("Customer").rows[-1]
+        assert row == {"id": 99, "email": None, "country": None}
+
+    def test_duplicate_table_rejected(self, shop):
+        with pytest.raises(ValueError):
+            shop.add_table(Table("Customer", ("id",), "id"))
+
+    def test_validate_references(self, shop):
+        assert shop.validate_references() == []
+        shop.table("Orders").insert(
+            {"id": 99, "customer_id": 12345, "total": 1}
+        )
+        problems = shop.validate_references()
+        assert len(problems) == 1
+        assert "12345" in problems[0]
+
+
+class TestConversion:
+    def test_rows_become_labelled_nodes(self, shop):
+        graph = database_to_graph(shop)
+        assert graph.node_count("Customer") == 10
+        assert graph.node_count("Orders") == 25
+        node = graph.node("Customer:3")
+        assert node.properties["email"] == "user3@example.com"
+
+    def test_fks_become_edges(self, shop):
+        graph = database_to_graph(shop)
+        assert graph.edge_count("PLACED_BY") == 25
+        schema = infer_schema(graph)
+        assert schema.edge_connects("Orders", "PLACED_BY", "Customer")
+
+    def test_null_columns_become_absent_properties(self, shop):
+        shop.table("Customer").insert({"id": 99})
+        graph = database_to_graph(shop)
+        assert "email" not in graph.node("Customer:99").properties
+
+    def test_dangling_fk_produces_no_edge(self, shop):
+        shop.table("Orders").insert(
+            {"id": 99, "customer_id": 777, "total": 1}
+        )
+        graph = database_to_graph(shop)
+        assert graph.edge_count("PLACED_BY") == 25  # not 26
+
+    def test_null_pk_rejected(self, shop):
+        shop.table("Customer").insert({"email": "x@y.z"})
+        with pytest.raises(ValueError):
+            database_to_graph(shop)
+
+    def test_default_edge_label(self):
+        db = RelationalDatabase("d")
+        db.add_table(Table("A", ("id",), "id"))
+        b = db.add_table(Table(
+            "B", ("id", "a_id"), "id", (ForeignKey("a_id", "A"),),
+        ))
+        db.table("A").insert({"id": 1})
+        b.insert({"id": 1, "a_id": 1})
+        graph = database_to_graph(db)
+        assert graph.edge_labels() == ["REFS_A"]
+
+
+class TestMiningOnRelationalData:
+    def test_pipeline_finds_relational_rules(self, shop):
+        graph = database_to_graph(shop)
+        dataset = Dataset(graph=graph, true_rules=[], dirt=DirtReport())
+        context = PipelineContext.build(dataset)
+        run = SlidingWindowPipeline(
+            context, window_size=2000, overlap=200
+        ).mine("llama3", "zero_shot")
+        assert run.rule_count >= 3
+        texts = " ".join(rule.text for rule in run.rules)
+        assert "Customer" in texts or "Orders" in texts
+
+
+class TestSqlRendering:
+    def test_not_null(self):
+        sql = rule_to_sql(ConsistencyRule(
+            RuleKind.PROPERTY_EXISTS, "", label="Customer",
+            properties=("email",),
+        ))
+        assert sql == (
+            "ALTER TABLE Customer ALTER COLUMN email SET NOT NULL;"
+        )
+
+    def test_unique(self):
+        sql = rule_to_sql(ConsistencyRule(
+            RuleKind.UNIQUENESS, "", label="Customer",
+            properties=("email",),
+        ))
+        assert "UNIQUE (email)" in sql
+
+    def test_check_domain(self):
+        sql = rule_to_sql(ConsistencyRule(
+            RuleKind.VALUE_DOMAIN, "", label="Orders",
+            properties=("status",), allowed_values=("paid", "open"),
+        ))
+        assert "CHECK (status IN ('paid', 'open'))" in sql
+
+    def test_check_format(self):
+        sql = rule_to_sql(ConsistencyRule(
+            RuleKind.VALUE_FORMAT, "", label="Customer",
+            properties=("email",), pattern_regex=r".+@.+",
+        ))
+        assert "~ '.+@.+'" in sql
+
+    def test_string_escaping(self):
+        sql = rule_to_sql(ConsistencyRule(
+            RuleKind.VALUE_DOMAIN, "", label="T",
+            properties=("p",), allowed_values=("it's",),
+        ))
+        assert "'it''s'" in sql
+
+    def test_mandatory_edge_from_fk(self):
+        sql = rule_to_sql(ConsistencyRule(
+            RuleKind.MANDATORY_EDGE, "", label="Orders",
+            edge_label="REFS_CUSTOMER", src_label="Orders",
+            dst_label="Customer",
+        ))
+        assert "NOT NULL" in sql
+
+    def test_inexpressible_returns_none(self):
+        assert rule_to_sql(ConsistencyRule(
+            RuleKind.PATTERN, "", label="A", edge_label="E",
+            dst_label="B", scope_label="C", scope_edge_label="F",
+        )) is None

@@ -1,0 +1,162 @@
+"""Tests for the rule-driven repair engine."""
+
+import pytest
+
+from repro.cypher import execute
+from repro.graph import PropertyGraph, infer_schema
+from repro.repair import QUARANTINE_KEY, RepairEngine
+from repro.rules import ConsistencyRule, RuleKind
+
+
+@pytest.fixture()
+def dirty_graph():
+    """A graph violating several rules at once."""
+    g = PropertyGraph("dirty")
+    for index in range(6):
+        properties = {"id": index, "screen_name": f"@u{index}"}
+        if index == 5:
+            properties.pop("screen_name")      # missing property
+        g.add_node(f"u{index}", "User", properties)
+    for index in range(6):
+        g.add_node(f"t{index}", "Tweet", {
+            "id": index if index != 5 else 0,   # duplicate id with t0
+            "created_at": f"2021-01-0{index + 1}T00:00:00",
+        })
+        g.add_edge(f"p{index}", "POSTS", f"u{index}", f"t{index}")
+    g.add_edge("f1", "FOLLOWS", "u0", "u1")
+    g.add_edge("f2", "FOLLOWS", "u2", "u2")     # self-loop
+    g.add_edge("r1", "RETWEETS", "t3", "t1")    # fine: later -> earlier
+    g.add_edge("r2", "RETWEETS", "t0", "t4")    # violation: earlier -> later
+    g.add_edge("bad", "POSTS", "t2", "u2")      # flipped endpoint
+    return g
+
+
+@pytest.fixture()
+def engine(dirty_graph):
+    return RepairEngine(dirty_graph, infer_schema(dirty_graph))
+
+
+def rule(kind, **kw):
+    return ConsistencyRule(kind=kind, text=kw.pop("text", "r"), **kw)
+
+
+class TestPlans:
+    def test_self_loop_plan_is_destructive(self, engine):
+        plan = engine.plan(rule(
+            RuleKind.NO_SELF_LOOP, label="User", edge_label="FOLLOWS",
+        ))
+        assert len(plan.actions) == 1
+        assert plan.actions[0].destructive
+        assert "DELETE" in plan.actions[0].query
+
+    def test_property_plan_uses_default_when_given(self, dirty_graph):
+        engine = RepairEngine(
+            dirty_graph, infer_schema(dirty_graph),
+            defaults={("User", "screen_name"): "@unknown"},
+        )
+        plan = engine.plan(rule(
+            RuleKind.PROPERTY_EXISTS, label="User",
+            properties=("screen_name",),
+        ))
+        assert "SET n.screen_name = '@unknown'" in plan.actions[0].query
+
+    def test_destructive_actions_filterable(self, dirty_graph):
+        engine = RepairEngine(
+            dirty_graph, infer_schema(dirty_graph),
+            allow_destructive=False,
+        )
+        plan = engine.plan(rule(
+            RuleKind.NO_SELF_LOOP, label="User", edge_label="FOLLOWS",
+        ))
+        assert plan.is_empty
+
+
+class TestApply:
+    def test_repair_self_loops(self, engine, dirty_graph):
+        report = engine.repair(rule(
+            RuleKind.NO_SELF_LOOP, label="User", edge_label="FOLLOWS",
+        ))
+        assert report.stats == {"relationships_deleted": 1}
+        assert report.metrics_after.confidence == 100.0
+        assert report.confidence_gain > 0
+        assert execute(
+            dirty_graph,
+            "MATCH (u:User)-[:FOLLOWS]->(u) RETURN count(*) AS c",
+        ).scalar() == 0
+
+    def test_repair_temporal_order(self, engine, dirty_graph):
+        report = engine.repair(rule(
+            RuleKind.TEMPORAL_ORDER, edge_label="RETWEETS",
+            src_label="Tweet", dst_label="Tweet",
+            time_property="created_at",
+        ))
+        assert report.stats == {"relationships_deleted": 1}
+        assert dirty_graph.edge_count("RETWEETS") == 1
+
+    def test_repair_endpoint_deletes_mistyped(self, engine, dirty_graph):
+        report = engine.repair(rule(
+            RuleKind.ENDPOINT, edge_label="POSTS",
+            src_label="User", dst_label="Tweet",
+        ))
+        assert report.stats == {"relationships_deleted": 1}
+        assert report.metrics_after.confidence == 100.0
+
+    def test_repair_uniqueness_quarantines(self, engine, dirty_graph):
+        report = engine.repair(rule(
+            RuleKind.UNIQUENESS, label="Tweet", properties=("id",),
+        ))
+        assert report.stats == {"properties_set": 2}
+        quarantined = sorted(
+            node.id for node in dirty_graph.nodes("Tweet")
+            if node.properties.get(QUARANTINE_KEY)
+        )
+        assert quarantined == ["t0", "t5"]
+        # quarantine is non-destructive: confidence unchanged
+        assert report.confidence_gain == 0.0
+
+    def test_repair_missing_property_with_default(self, dirty_graph):
+        engine = RepairEngine(
+            dirty_graph, infer_schema(dirty_graph),
+            defaults={("User", "screen_name"): "@unknown"},
+        )
+        report = engine.repair(rule(
+            RuleKind.PROPERTY_EXISTS, label="User",
+            properties=("screen_name",),
+        ))
+        assert report.metrics_before.confidence < 100.0
+        assert report.metrics_after.confidence == 100.0
+        assert dirty_graph.node("u5").properties["screen_name"] == \
+            "@unknown"
+
+    def test_repair_mandatory_edge_quarantines(self, engine, dirty_graph):
+        dirty_graph.add_node("t9", "Tweet", {"id": 9})   # orphan tweet
+        report = engine.repair(rule(
+            RuleKind.MANDATORY_EDGE, label="Tweet", edge_label="POSTS",
+            src_label="User", dst_label="Tweet",
+        ))
+        assert report.stats["properties_set"] >= 1
+        assert dirty_graph.node("t9").properties.get(QUARANTINE_KEY)
+
+    def test_report_before_after_metrics(self, engine):
+        report = engine.repair(rule(
+            RuleKind.NO_SELF_LOOP, label="User", edge_label="FOLLOWS",
+        ))
+        assert report.metrics_before.support == 1
+        assert report.metrics_after.support == 1
+        assert report.metrics_before.body == 2
+        assert report.metrics_after.body == 1
+
+
+class TestOnDatasets:
+    def test_repair_twitter_dirt(self):
+        from repro.datasets import load
+
+        dataset = load("twitter", cache=False)   # private mutable copy
+        engine = RepairEngine(
+            dataset.graph, infer_schema(dataset.graph)
+        )
+        report = engine.repair(rule(
+            RuleKind.NO_SELF_LOOP, label="User", edge_label="FOLLOWS",
+        ))
+        assert report.stats["relationships_deleted"] == 8  # injected dirt
+        assert report.metrics_after.confidence == 100.0

@@ -1,0 +1,123 @@
+"""Unit tests for the rule ↔ natural-language round trip."""
+
+import pytest
+
+from repro.rules import (
+    ConsistencyRule,
+    RuleKind,
+    from_natural_language,
+    parse_rule_list,
+    to_natural_language,
+)
+
+ALL_KIND_SAMPLES = [
+    ConsistencyRule(RuleKind.PROPERTY_EXISTS, "", label="Match",
+                    properties=("date", "stage")),
+    ConsistencyRule(RuleKind.PROPERTY_EXISTS, "", label="User",
+                    properties=("id",)),
+    ConsistencyRule(RuleKind.EDGE_PROP_EXISTS, "",
+                    edge_label="SCORED_GOAL", properties=("minute",)),
+    ConsistencyRule(RuleKind.UNIQUENESS, "", label="Tweet",
+                    properties=("id",)),
+    ConsistencyRule(RuleKind.PRIMARY_KEY, "", label="Match",
+                    properties=("id",), scope_label="Tournament",
+                    scope_edge_label="IN_TOURNAMENT"),
+    ConsistencyRule(RuleKind.VALUE_DOMAIN, "", label="User",
+                    properties=("owned",), allowed_values=(True, False)),
+    ConsistencyRule(RuleKind.VALUE_DOMAIN, "", label="Match",
+                    properties=("stage",),
+                    allowed_values=("Group", "Final")),
+    ConsistencyRule(RuleKind.VALUE_FORMAT, "", label="Domain",
+                    properties=("name",),
+                    pattern_regex=r"([a-z0-9-]+\.)+[a-z]{2,}"),
+    ConsistencyRule(RuleKind.ENDPOINT, "", edge_label="POSTS",
+                    src_label="User", dst_label="Tweet"),
+    ConsistencyRule(RuleKind.MANDATORY_EDGE, "", label="Tweet",
+                    edge_label="POSTS", src_label="User",
+                    dst_label="Tweet"),
+    ConsistencyRule(RuleKind.MANDATORY_EDGE, "", label="Person",
+                    edge_label="REPRESENTS", src_label="Person",
+                    dst_label="Team"),
+    ConsistencyRule(RuleKind.NO_SELF_LOOP, "", label="User",
+                    edge_label="FOLLOWS"),
+    ConsistencyRule(RuleKind.TEMPORAL_ORDER, "", edge_label="RETWEETS",
+                    src_label="Tweet", dst_label="Tweet",
+                    time_property="created_at"),
+    ConsistencyRule(RuleKind.TEMPORAL_UNIQUE, "",
+                    edge_label="SCORED_GOAL", src_label="Person",
+                    dst_label="Match", time_property="minute"),
+    ConsistencyRule(RuleKind.PATTERN, "", label="Person",
+                    edge_label="IN_SQUAD", dst_label="Squad",
+                    scope_label="Tournament", scope_edge_label="FOR"),
+]
+
+
+@pytest.mark.parametrize(
+    "rule", ALL_KIND_SAMPLES, ids=lambda r: r.kind.value
+)
+def test_round_trip_preserves_signature(rule):
+    sentence = to_natural_language(rule)
+    parsed = from_natural_language(sentence)
+    assert parsed is not None, sentence
+    expected = ConsistencyRule(
+        kind=rule.kind, text=sentence, label=rule.label,
+        properties=rule.properties, edge_label=rule.edge_label,
+        src_label=rule.src_label, dst_label=rule.dst_label,
+        allowed_values=rule.allowed_values,
+        pattern_regex=rule.pattern_regex,
+        scope_edge_label=rule.scope_edge_label,
+        scope_label=rule.scope_label, time_property=rule.time_property,
+    )
+    assert parsed.signature() == expected.signature()
+
+
+def test_unparseable_sentence_returns_none():
+    assert from_natural_language("This is not a rule at all.") is None
+    assert from_natural_language("") is None
+
+
+def test_parse_rule_list_with_numbering_and_noise():
+    completion = """
+1. Each Tweet node should have a unique id property.
+2) Every POSTS relationship should connect a User node to a Tweet node.
+- A User node cannot have a FOLLOWS relationship to itself.
+* Each Match node should have a date and stage property.
+Some chatty preamble the model added.
+"""
+    rules, unparsed = parse_rule_list(completion, provenance="test")
+    assert len(rules) == 4
+    assert unparsed == ["Some chatty preamble the model added."]
+    assert all(rule.provenance == "test" for rule in rules)
+    kinds = [rule.kind for rule in rules]
+    assert kinds == [
+        RuleKind.UNIQUENESS, RuleKind.ENDPOINT,
+        RuleKind.NO_SELF_LOOP, RuleKind.PROPERTY_EXISTS,
+    ]
+
+
+def test_value_domain_boolean_values_parsed_as_booleans():
+    rule = from_natural_language(
+        "The owned property of User nodes should only be True or False."
+    )
+    assert rule.allowed_values == (True, False)
+
+
+def test_value_domain_string_values_keep_quotes():
+    rule = from_natural_language(
+        "The stage property of Match nodes should only be 'Group' "
+        "or 'Final'."
+    )
+    assert rule.allowed_values == ("Group", "Final")
+
+
+def test_mandatory_edge_direction_from_wording():
+    incoming = from_natural_language(
+        "Every Tweet node must have an incoming POSTS relationship "
+        "from a User node."
+    )
+    assert (incoming.src_label, incoming.dst_label) == ("User", "Tweet")
+    outgoing = from_natural_language(
+        "Every Person node must have an outgoing REPRESENTS relationship "
+        "to a Team node."
+    )
+    assert (outgoing.src_label, outgoing.dst_label) == ("Person", "Team")
