@@ -9,9 +9,11 @@ one-empty-group rule for global aggregation over zero rows).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional, Sequence
 
+from repro import obs
 from repro.cypher.ast_nodes import (
     CreateClause,
     DeleteClause,
@@ -723,5 +725,13 @@ def execute(
     parameters: Mapping[str, object] | None = None,
 ) -> QueryResult:
     """Parse and execute ``query_text`` against ``graph``."""
-    query = parse(query_text)
-    return Executor(graph, parameters).run(query)
+    with obs.span("cypher.execute") as sp:
+        started = time.perf_counter()
+        query = parse(query_text)
+        result = Executor(graph, parameters).run(query)
+        elapsed = time.perf_counter() - started
+        sp.set_attribute("rows", len(result.rows))
+        obs.inc("cypher.queries")
+        obs.inc("cypher.rows", len(result.rows))
+        obs.observe("cypher.eval_seconds", elapsed)
+    return result

@@ -6,6 +6,8 @@ Usage::
     repro-experiments table1        # one table
     repro-experiments table3 --seed 7
     repro-experiments figures       # pipeline trace + §4.5 counts
+    repro-experiments table5 --obs  # plus observability summary
+    repro-experiments table5 --trace-out trace.jsonl
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.experiments import (
     extensions,
     figures,
@@ -76,6 +79,14 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=0,
         help="base seed for the simulated LLMs (default 0)",
     )
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="collect a trace and print the observability summary",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the JSONL span/metric trace to PATH (implies --obs)",
+    )
     args = parser.parse_args(argv)
 
     requested = args.targets or ["all"]
@@ -87,9 +98,29 @@ def main(argv: list[str] | None = None) -> int:
     if "all" in requested:
         requested = [t for t in TARGETS if t != "all"]
 
-    runner = ExperimentRunner(base_seed=args.seed)
-    outputs = [emit(target, runner) for target in requested]
-    print("\n\n".join(outputs))
+    collector = None
+    if args.obs or args.trace_out:
+        collector = obs.install()
+    try:
+        runner = ExperimentRunner(base_seed=args.seed)
+        outputs = [emit(target, runner) for target in requested]
+        print("\n\n".join(outputs))
+        if collector is not None:
+            print()
+            print(obs.summary_table(collector))
+            if args.trace_out:
+                try:
+                    obs.write_jsonl(collector, args.trace_out)
+                except OSError as error:
+                    print(
+                        f"cannot write trace to {args.trace_out}: {error}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(f"trace written to {args.trace_out}")
+    finally:
+        if collector is not None:
+            obs.uninstall()
     return 0
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import random
 import zlib
 
+from repro import obs
 from repro.encoding.tokenizer import count_tokens
 from repro.llm.base import CallLog, Completion, SimulatedClock
 from repro.llm.faults import HALLUCINATED_PROPERTY_POOL, maybe_inject
@@ -74,17 +75,39 @@ class SimulatedLLM:
     # ------------------------------------------------------------------
     def complete(self, prompt: str) -> Completion:
         """Answer one prompt (rule generation or Cypher generation)."""
-        rng = self._rng_for(prompt)
-        if extract_section(prompt, RULE_SECTION) is not None:
-            text = self._complete_cypher(prompt, rng)
-        elif extract_section(prompt, GRAPH_SECTION) is not None:
-            text = self._complete_rules(prompt, rng)
-        else:
-            text = "I need a graph or a rule to work with."
-        completion = self._package(prompt, text)
-        self.clock.record(completion)
-        if self.log is not None:
-            self.log.record(completion)
+        with obs.span("llm.call", model=self.profile.name) as sp:
+            rng = self._rng_for(prompt)
+            if extract_section(prompt, RULE_SECTION) is not None:
+                skill = "cypher"
+                text = self._complete_cypher(prompt, rng)
+            elif extract_section(prompt, GRAPH_SECTION) is not None:
+                skill = "rules"
+                text = self._complete_rules(prompt, rng)
+            else:
+                skill = "unknown"
+                text = "I need a graph or a rule to work with."
+            completion = self._package(prompt, text)
+            self.clock.record(completion)
+            if self.log is not None:
+                self.log.record(completion)
+            sp.set_attribute("skill", skill)
+            sp.set_attribute("prompt_tokens", completion.prompt_tokens)
+            sp.set_attribute("completion_tokens", completion.completion_tokens)
+            sp.set_attribute("sim_latency_seconds", completion.latency_seconds)
+            sp.add_sim_time(completion.latency_seconds)
+            obs.inc("llm.calls", 1, model=self.profile.name, skill=skill)
+            obs.inc(
+                "llm.prompt_tokens", completion.prompt_tokens,
+                model=self.profile.name,
+            )
+            obs.inc(
+                "llm.completion_tokens", completion.completion_tokens,
+                model=self.profile.name,
+            )
+            obs.observe(
+                "llm.sim_latency_seconds", completion.latency_seconds,
+                model=self.profile.name,
+            )
         return completion
 
     def _rng_for(self, prompt: str) -> random.Random:

@@ -9,6 +9,7 @@ zero, mirroring a rule that matches nothing.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.cypher.errors import CypherError
 from repro.cypher.executor import execute
 from repro.graph.store import PropertyGraph
@@ -29,8 +30,14 @@ def _count(graph: PropertyGraph, query_text: str) -> int:
 
 def evaluate_rule(graph: PropertyGraph, queries: MetricQueries) -> RuleMetrics:
     """Compute §4.2 metrics for one rule's query bundle."""
-    return RuleMetrics(
-        support=_count(graph, queries.satisfy),
-        relevant=_count(graph, queries.relevant),
-        body=_count(graph, queries.body),
-    )
+    with obs.span("evaluate") as sp:
+        metrics = RuleMetrics(
+            support=_count(graph, queries.satisfy),
+            relevant=_count(graph, queries.relevant),
+            body=_count(graph, queries.body),
+        )
+        sp.set_attribute("support", metrics.support)
+        sp.set_attribute("relevant", metrics.relevant)
+        sp.set_attribute("body", metrics.body)
+        obs.inc("metrics.rules_evaluated")
+    return metrics

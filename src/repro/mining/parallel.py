@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.encoding.windows import (
     DEFAULT_OVERLAP,
     DEFAULT_WINDOW_SIZE,
@@ -108,39 +109,64 @@ class ParallelSlidingWindowPipeline(BasePipeline):
         )
 
         examples = examples_text() if prompt_mode == "few_shot" else None
-        per_window_rules = []
-        for window in windows.windows:
-            worker = window.index % self.workers
-            if examples is not None:
-                prompt = few_shot_prompt(window.text, examples)
-            else:
-                prompt = zero_shot_prompt(window.text)
-            completion = replicas[worker].complete(prompt)
-            reports[worker].windows += 1
-            per_window_rules.append(
-                self.parse_completion(
-                    completion.text,
-                    provenance=(
-                        f"{profile.name}/worker-{worker}/"
-                        f"window-{window.index}"
-                    ),
-                )
+        with obs.span(
+            "mine.parallel_sliding_window",
+            dataset=self.context.name, model=profile.name,
+            prompt_mode=prompt_mode, workers=self.workers,
+            windows=windows.window_count,
+        ) as mine_span:
+            per_window_rules = []
+            for window in windows.windows:
+                worker = window.index % self.workers
+                if examples is not None:
+                    prompt = few_shot_prompt(window.text, examples)
+                else:
+                    prompt = zero_shot_prompt(window.text)
+                with obs.span(
+                    "window", index=window.index, worker=worker
+                ) as sp:
+                    completion = replicas[worker].complete(prompt)
+                    reports[worker].windows += 1
+                    rules = self.parse_completion(
+                        completion.text,
+                        provenance=(
+                            f"{profile.name}/worker-{worker}/"
+                            f"window-{window.index}"
+                        ),
+                    )
+                    sp.set_attribute("rules", len(rules))
+                per_window_rules.append(rules)
+            for report in reports:
+                report.seconds = report.clock.elapsed_seconds
+                # one summary span per replica: its share of the windows
+                # and the simulated seconds its clock accumulated
+                with obs.span(
+                    "worker",
+                    worker_id=report.worker_id, windows=report.windows,
+                ) as sp:
+                    sp.add_sim_time(report.seconds)
+
+            # makespan: the run finishes when the slowest replica does
+            run.mining_seconds = max(
+                (report.seconds for report in reports), default=0.0
             )
-        for report in reports:
-            report.seconds = report.clock.elapsed_seconds
+            self.worker_reports = reports
 
-        # makespan: the run finishes when the slowest replica does
-        run.mining_seconds = max(
-            (report.seconds for report in reports), default=0.0
-        )
-        self.worker_reports = reports
-
-        combined = combine_and_cap(
-            per_window_rules, profile, prompt_mode,
-            self.run_rng(profile.name, prompt_mode),
-        )
-        # the second (Cypher) step is small; run it on replica 0
-        self.translate_and_score(run, combined.rules, replicas[0])
+            combined = combine_and_cap(
+                per_window_rules, profile, prompt_mode,
+                self.run_rng(profile.name, prompt_mode),
+            )
+            # the second (Cypher) step is small; run it on replica 0
+            self.translate_and_score(run, combined.rules, replicas[0])
+            # translate_and_score credited replica 0's clock only; the
+            # run's totals span every replica
+            run.llm_calls = sum(r.clock.calls for r in replicas)
+            run.prompt_tokens = sum(r.clock.prompt_tokens for r in replicas)
+            run.completion_tokens = sum(
+                r.clock.completion_tokens for r in replicas
+            )
+            mine_span.set_attribute("rules", run.rule_count)
+            mine_span.add_sim_time(run.mining_seconds + run.cypher_seconds)
         return run
 
     def run_rng(self, model_name: str, prompt_mode: str):

@@ -13,6 +13,7 @@ import random
 import zlib
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.correction.corrector import QueryCorrector
 from repro.datasets.base import Dataset
 from repro.encoding.incident import IncidentEncoder, Statement
@@ -54,10 +55,17 @@ class PipelineContext:
     @classmethod
     def build(cls, dataset: Dataset, encoder=None) -> "PipelineContext":
         encoder = encoder or IncidentEncoder()
-        schema = infer_schema(dataset.graph)
+        with obs.span("encode", dataset=dataset.graph.name) as sp:
+            statements = encoder.encode(dataset.graph)
+            schema = infer_schema(dataset.graph)
+            sp.set_attribute("statements", len(statements))
+            obs.inc(
+                "encode.statements", len(statements),
+                dataset=dataset.graph.name,
+            )
         return cls(
             dataset=dataset,
-            statements=encoder.encode(dataset.graph),
+            statements=statements,
             schema=schema,
             schema_summary=schema.describe(),
         )
@@ -253,19 +261,24 @@ class BasePipeline:
         """Second LLM step, correction protocol, metric evaluation."""
         clock_before = llm.clock.elapsed_seconds
         for rule in rules:
-            prompt = cypher_prompt(rule.text, self.context.schema_summary)
-            completion = llm.complete(prompt)
-            outcome = self.corrector.correct(rule, completion.text)
-            if outcome.metric_queries is not None:
-                metrics = evaluate_rule(
-                    self.context.graph, outcome.metric_queries
+            with obs.span("translate", rule_kind=rule.kind.name) as sp:
+                prompt = cypher_prompt(rule.text, self.context.schema_summary)
+                completion = llm.complete(prompt)
+                outcome = self.corrector.correct(rule, completion.text)
+                sp.set_attribute("corrected", outcome.corrected)
+                if outcome.metric_queries is not None:
+                    metrics = evaluate_rule(
+                        self.context.graph, outcome.metric_queries
+                    )
+                else:
+                    metrics = RuleMetrics(support=0, relevant=0, body=0)
+                run.results.append(
+                    RuleResult(rule=rule, outcome=outcome, metrics=metrics)
                 )
-            else:
-                metrics = RuleMetrics(support=0, relevant=0, body=0)
-            run.results.append(
-                RuleResult(rule=rule, outcome=outcome, metrics=metrics)
-            )
         run.cypher_seconds = llm.clock.elapsed_seconds - clock_before
+        run.llm_calls = llm.clock.calls
+        run.prompt_tokens = llm.clock.prompt_tokens
+        run.completion_tokens = llm.clock.completion_tokens
 
     @staticmethod
     def parse_completion(

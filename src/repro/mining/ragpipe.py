@@ -10,6 +10,7 @@ weaker rules (§4.5).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.mining.pipeline import BasePipeline, PipelineContext, combine_and_cap
 from repro.mining.result import MiningRun
 from repro.prompts.examples import examples_text
@@ -48,32 +49,40 @@ class RAGPipeline(BasePipeline):
 
     # ------------------------------------------------------------------
     def mine(self, model: str, prompt_mode: str) -> MiningRun:
-        self._ensure_index()
         llm, clock = self.make_llm(model, prompt_mode)
-        retrieval = self.retriever.retrieve(RETRIEVAL_QUERY)
-
-        run = MiningRun(
-            dataset=self.context.name,
-            model=llm.name,
-            method=self.method,
+        with obs.span(
+            "mine.rag",
+            dataset=self.context.name, model=llm.name,
             prompt_mode=prompt_mode,
-            retrieved_chunks=len(retrieval.hits),
-            total_chunks=retrieval.chunk_count,
-        )
+        ) as mine_span:
+            self._ensure_index()
+            retrieval = self.retriever.retrieve(RETRIEVAL_QUERY)
 
-        if prompt_mode == "few_shot":
-            prompt = few_shot_prompt(retrieval.context, examples_text())
-        else:
-            prompt = zero_shot_prompt(retrieval.context)
-        completion = llm.complete(prompt)
-        run.mining_seconds = clock.elapsed_seconds
+            run = MiningRun(
+                dataset=self.context.name,
+                model=llm.name,
+                method=self.method,
+                prompt_mode=prompt_mode,
+                retrieved_chunks=len(retrieval.hits),
+                total_chunks=retrieval.chunk_count,
+            )
 
-        rules = self.parse_completion(
-            completion.text, provenance=f"{llm.name}/rag"
-        )
-        combined = combine_and_cap(
-            [rules], llm.profile, prompt_mode,
-            self.run_rng(llm.name, prompt_mode),
-        )
-        self.translate_and_score(run, combined.rules, llm)
+            if prompt_mode == "few_shot":
+                prompt = few_shot_prompt(retrieval.context, examples_text())
+            else:
+                prompt = zero_shot_prompt(retrieval.context)
+            completion = llm.complete(prompt)
+            run.mining_seconds = clock.elapsed_seconds
+
+            rules = self.parse_completion(
+                completion.text, provenance=f"{llm.name}/rag"
+            )
+            combined = combine_and_cap(
+                [rules], llm.profile, prompt_mode,
+                self.run_rng(llm.name, prompt_mode),
+            )
+            self.translate_and_score(run, combined.rules, llm)
+            mine_span.set_attribute("rules", run.rule_count)
+            mine_span.set_attribute("retrieved_chunks", len(retrieval.hits))
+            mine_span.add_sim_time(clock.elapsed_seconds)
         return run

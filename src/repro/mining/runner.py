@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.datasets.registry import DATASET_NAMES, load
 from repro.llm.profiles import MODEL_NAMES
 from repro.mining.pipeline import PROMPT_MODES, PipelineContext
@@ -68,7 +69,13 @@ class ExperimentRunner:
         key = (dataset.lower(), model.lower(), method, prompt_mode)
         if key not in self._runs:
             pipeline = self.pipeline(dataset, method)
-            self._runs[key] = pipeline.mine(model, prompt_mode)
+            with obs.span(
+                "grid.cell",
+                dataset=key[0], model=key[1], method=method,
+                prompt_mode=prompt_mode,
+            ):
+                self._runs[key] = pipeline.mine(model, prompt_mode)
+            obs.inc("grid.cells_run")
         return self._runs[key]
 
     def run_dataset(self, dataset: str) -> list[MiningRun]:

@@ -8,6 +8,7 @@ number of windows — the Table 5 mechanism.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.encoding.windows import (
     DEFAULT_OVERLAP,
     DEFAULT_WINDOW_SIZE,
@@ -51,37 +52,46 @@ class SlidingWindowPipeline(BasePipeline):
     def mine(self, model: str, prompt_mode: str) -> MiningRun:
         llm, clock = self.make_llm(model, prompt_mode)
         windows = self.window_set
-        run = MiningRun(
-            dataset=self.context.name,
-            model=llm.name,
-            method=self.method,
-            prompt_mode=prompt_mode,
-            window_count=windows.window_count,
-            broken_statements=windows.broken_statement_count,
-            broken_patterns=windows.broken_pattern_count,
-        )
-
-        examples = examples_text() if prompt_mode == "few_shot" else None
-        per_window_rules = []
-        for window in windows.windows:
-            if examples is not None:
-                prompt = few_shot_prompt(window.text, examples)
-            else:
-                prompt = zero_shot_prompt(window.text)
-            completion = llm.complete(prompt)
-            per_window_rules.append(
-                self.parse_completion(
-                    completion.text,
-                    provenance=f"{llm.name}/window-{window.index}",
-                )
+        with obs.span(
+            "mine.sliding_window",
+            dataset=self.context.name, model=llm.name,
+            prompt_mode=prompt_mode, windows=windows.window_count,
+        ) as mine_span:
+            run = MiningRun(
+                dataset=self.context.name,
+                model=llm.name,
+                method=self.method,
+                prompt_mode=prompt_mode,
+                window_count=windows.window_count,
+                broken_statements=windows.broken_statement_count,
+                broken_patterns=windows.broken_pattern_count,
             )
-        run.mining_seconds = clock.elapsed_seconds
 
-        combined = combine_and_cap(
-            per_window_rules,
-            llm.profile,
-            prompt_mode,
-            self.run_rng(llm.name, prompt_mode),
-        )
-        self.translate_and_score(run, combined.rules, llm)
+            examples = examples_text() if prompt_mode == "few_shot" else None
+            per_window_rules = []
+            for window in windows.windows:
+                if examples is not None:
+                    prompt = few_shot_prompt(window.text, examples)
+                else:
+                    prompt = zero_shot_prompt(window.text)
+                with obs.span("window", index=window.index) as sp:
+                    completion = llm.complete(prompt)
+                    rules = self.parse_completion(
+                        completion.text,
+                        provenance=f"{llm.name}/window-{window.index}",
+                    )
+                    sp.set_attribute("rules", len(rules))
+                per_window_rules.append(rules)
+                obs.inc("mining.windows_prompted", model=llm.name)
+            run.mining_seconds = clock.elapsed_seconds
+
+            combined = combine_and_cap(
+                per_window_rules,
+                llm.profile,
+                prompt_mode,
+                self.run_rng(llm.name, prompt_mode),
+            )
+            self.translate_and_score(run, combined.rules, llm)
+            mine_span.set_attribute("rules", run.rule_count)
+            mine_span.add_sim_time(clock.elapsed_seconds)
         return run

@@ -1,0 +1,94 @@
+"""repro.obs — tracing, metrics and profiling for the mining stack.
+
+Usage from instrumentation sites::
+
+    from repro import obs
+
+    with obs.span("llm.call", model=name) as sp:
+        ...
+        sp.set_attribute("prompt_tokens", tokens)
+        sp.add_sim_time(latency)
+    obs.inc("llm.calls", 1, model=name)
+
+All helpers are no-ops until a collector is installed with
+:func:`obs.install` (the CLI's ``--obs``/``--trace-out`` flags do this),
+so instrumentation can stay default-on in every hot path.
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    ParsedSpan,
+    ParsedTrace,
+    parse_jsonl,
+    prometheus_text,
+    summary_table,
+    to_jsonl,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    Span,
+    SpanStats,
+    TraceCollector,
+    get_collector,
+    install,
+    span,
+    traced,
+    uninstall,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "ParsedSpan",
+    "ParsedTrace",
+    "Span",
+    "SpanStats",
+    "TraceCollector",
+    "get_collector",
+    "inc",
+    "install",
+    "observe",
+    "parse_jsonl",
+    "prometheus_text",
+    "set_gauge",
+    "span",
+    "summary_table",
+    "to_jsonl",
+    "traced",
+    "uninstall",
+    "write_jsonl",
+]
+
+
+def inc(name: str, amount: float = 1, **labels: object) -> None:
+    """Increment a counter on the installed collector (no-op if none)."""
+    collector = get_collector()
+    if collector is not None:
+        collector.metrics.counter(name).inc(amount, **labels)
+
+
+def set_gauge(name: str, value: float, **labels: object) -> None:
+    """Set a gauge on the installed collector (no-op if none)."""
+    collector = get_collector()
+    if collector is not None:
+        collector.metrics.gauge(name).set(value, **labels)
+
+
+def observe(name: str, value: float, **labels: object) -> None:
+    """Record a histogram observation (no-op if none installed)."""
+    collector = get_collector()
+    if collector is not None:
+        collector.metrics.histogram(name).observe(value, **labels)

@@ -1,0 +1,271 @@
+"""Exporters: JSONL event log, Prometheus text dump, summary table.
+
+The JSONL format is line-per-record: ``{"type": "span", ...}`` rows in
+depth-first tree order followed by ``{"type": "metric", ...}`` rows.
+:func:`parse_jsonl` round-trips the span rows back into a tree of
+:class:`ParsedSpan` for offline analysis and the tests.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import TraceCollector
+
+__all__ = [
+    "ParsedSpan",
+    "ParsedTrace",
+    "parse_jsonl",
+    "prometheus_text",
+    "summary_table",
+    "to_jsonl",
+    "write_jsonl",
+]
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def to_jsonl(collector: TraceCollector) -> str:
+    """Serialise the collector's spans and metrics, one JSON per line."""
+    lines: list[str] = []
+    for item in collector.iter_spans():
+        lines.append(json.dumps({
+            "type": "span",
+            "id": item.span_id,
+            "parent": item.parent_id,
+            "name": item.name,
+            "start": item.start_wall,
+            "end": item.end_wall,
+            "wall_seconds": item.wall_seconds,
+            "sim_seconds": item.sim_seconds,
+            "attributes": item.attributes,
+        }, sort_keys=True, default=str))
+    for instrument in collector.metrics.collect():
+        if isinstance(instrument, Histogram):
+            for labels, _state in instrument.samples():
+                snap = instrument.snapshot(**labels)
+                lines.append(json.dumps({
+                    "type": "metric",
+                    "kind": "histogram",
+                    "name": instrument.name,
+                    "labels": labels,
+                    "buckets": list(snap.buckets),
+                    "counts": list(snap.counts),
+                    "count": snap.count,
+                    "sum": snap.sum,
+                }, sort_keys=True, default=str))
+        else:
+            for labels, value in instrument.samples():
+                lines.append(json.dumps({
+                    "type": "metric",
+                    "kind": instrument.kind,
+                    "name": instrument.name,
+                    "labels": labels,
+                    "value": value,
+                }, sort_keys=True, default=str))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(collector: TraceCollector, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_jsonl(collector))
+
+
+@dataclass
+class ParsedSpan:
+    """A span rebuilt from a JSONL trace."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    wall_seconds: float
+    sim_seconds: float
+    attributes: dict[str, object]
+    children: list["ParsedSpan"] = field(default_factory=list)
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class ParsedTrace:
+    """Everything read back from one JSONL trace."""
+
+    roots: list[ParsedSpan]
+    metrics: list[dict[str, object]]
+
+    def spans(self):
+        for root in self.roots:
+            yield from root.walk()
+
+    def span_names(self) -> set[str]:
+        return {item.name for item in self.spans()}
+
+    def counter_value(self, name: str) -> float:
+        """Sum of one counter across every label combination."""
+        return sum(
+            record["value"] for record in self.metrics
+            if record["kind"] == "counter" and record["name"] == name
+        )
+
+
+def parse_jsonl(text: str) -> ParsedTrace:
+    """Rebuild the span forest and metric records from JSONL text."""
+    by_id: dict[int, ParsedSpan] = {}
+    roots: list[ParsedSpan] = []
+    metrics: list[dict[str, object]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record["type"] == "metric":
+            metrics.append(record)
+            continue
+        parsed = ParsedSpan(
+            span_id=record["id"],
+            parent_id=record["parent"],
+            name=record["name"],
+            wall_seconds=record["wall_seconds"],
+            sim_seconds=record["sim_seconds"],
+            attributes=record["attributes"],
+        )
+        by_id[parsed.span_id] = parsed
+        parent = by_id.get(parsed.parent_id)
+        if parent is not None:
+            parent.children.append(parsed)
+        else:
+            roots.append(parsed)
+    return ParsedTrace(roots=roots, metrics=metrics)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _prom_labels(labels: dict[str, object]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(str(key))}="{value}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _merge_labels(labels: dict[str, object], **extra: object) -> str:
+    merged = dict(labels)
+    merged.update(extra)
+    return _prom_labels(merged)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus exposition-format dump of every instrument."""
+    lines: list[str] = []
+    for instrument in registry.collect():
+        name = _prom_name(instrument.name)
+        if instrument.help:
+            lines.append(f"# HELP {name} {instrument.help}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            for labels, value in instrument.samples():
+                lines.append(f"{name}{_prom_labels(labels)} {value}")
+        elif isinstance(instrument, Histogram):
+            for labels, _state in instrument.samples():
+                snap = instrument.snapshot(**labels)
+                cumulative = snap.cumulative()
+                for bound, count in zip(snap.buckets, cumulative):
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_merge_labels(labels, le=bound)} {count}"
+                    )
+                lines.append(
+                    f"{name}_bucket"
+                    f'{_merge_labels(labels, le="+Inf")} {snap.count}'
+                )
+                lines.append(
+                    f"{name}_sum{_prom_labels(labels)} {snap.sum}"
+                )
+                lines.append(
+                    f"{name}_count{_prom_labels(labels)} {snap.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# human-readable summary
+# ----------------------------------------------------------------------
+def _render_rows(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    out = [fmt(headers), fmt(["-" * width for width in widths])]
+    out.extend(fmt(row) for row in rows)
+    return out
+
+
+def summary_table(collector: TraceCollector) -> str:
+    """Aggregated span timings plus counter totals, as fixed-width text."""
+    lines: list[str] = ["== observability summary =="]
+
+    stats = collector.aggregate()
+    span_rows = [
+        [
+            entry.name,
+            str(entry.count),
+            f"{entry.wall_seconds:.4f}",
+            f"{entry.sim_seconds:.2f}",
+        ]
+        for entry in sorted(
+            stats.values(), key=lambda s: (-s.sim_seconds, -s.wall_seconds)
+        )
+    ]
+    lines.append("")
+    lines.append("spans (aggregated by name)")
+    lines.extend(_render_rows(
+        ["span", "count", "wall s", "sim s"], span_rows
+    ))
+
+    counter_rows: list[list[str]] = []
+    gauge_rows: list[list[str]] = []
+    for instrument in collector.metrics.collect():
+        if isinstance(instrument, Histogram):
+            continue
+        for labels, value in instrument.samples():
+            label_text = ",".join(
+                f"{key}={item}" for key, item in sorted(labels.items())
+            )
+            if isinstance(value, float) and value.is_integer():
+                value = int(value)
+            rendered = str(value) if isinstance(value, int) else f"{value:g}"
+            row = [instrument.name, label_text, rendered]
+            if isinstance(instrument, Counter):
+                counter_rows.append(row)
+            else:
+                gauge_rows.append(row)
+    if counter_rows:
+        lines.append("")
+        lines.append("counters")
+        lines.extend(_render_rows(["counter", "labels", "value"], counter_rows))
+    if gauge_rows:
+        lines.append("")
+        lines.append("gauges")
+        lines.extend(_render_rows(["gauge", "labels", "value"], gauge_rows))
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Instruments are labelled (Prometheus-style) and thread-safe, so the
+parallel mining pipeline's workers can record concurrently.  Values live
+in plain dicts keyed by a sorted label tuple; every mutation happens
+under the instrument's lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+]
+
+LabelKey = tuple[tuple[str, object], ...]
+
+#: Default latency-ish buckets, in seconds (upper bounds; +Inf implicit).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class _Instrument:
+    """Shared plumbing: name, help text, lock, labelled value store."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._values: dict[LabelKey, object] = {}
+
+    def samples(self) -> list[tuple[dict[str, object], object]]:
+        """Every (labels, value) pair, sorted by label key."""
+        with self._lock:
+            items = sorted(self._values.items())
+        return [(dict(key), value) for key, value in items]
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        with self._lock:
+            return sum(self._values.values())
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = value
+
+    def add(self, amount: float, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0)
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Point-in-time histogram state for one label combination."""
+
+    buckets: tuple[float, ...]        # upper bounds, +Inf implicit last
+    counts: tuple[int, ...]           # len(buckets) + 1 entries
+    count: int
+    sum: float
+
+    def cumulative(self) -> tuple[int, ...]:
+        """Prometheus-style cumulative bucket counts (incl. +Inf)."""
+        total = 0
+        out = []
+        for value in self.counts:
+            total += value
+            out.append(total)
+        return tuple(out)
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram of observations."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> None:
+        super().__init__(name, help=help)
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(sorted(buckets))
+        if len(set(ordered)) != len(ordered):
+            raise ValueError("histogram bucket bounds must be distinct")
+        self.buckets = ordered
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        # bucket i counts observations <= buckets[i]; the final slot is
+        # the +Inf overflow bucket
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = self._values[key] = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "count": 0,
+                    "sum": 0.0,
+                }
+            state["counts"][index] += 1
+            state["count"] += 1
+            state["sum"] += value
+
+    def snapshot(self, **labels: object) -> HistogramSnapshot:
+        key = _label_key(labels)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                return HistogramSnapshot(
+                    buckets=self.buckets,
+                    counts=tuple([0] * (len(self.buckets) + 1)),
+                    count=0,
+                    sum=0.0,
+                )
+            return HistogramSnapshot(
+                buckets=self.buckets,
+                counts=tuple(state["counts"]),
+                count=state["count"],
+                sum=state["sum"],
+            )
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    returns the same instrument; asking for an existing name with a
+    different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        help: str = "",
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name,
+            buckets=DEFAULT_BUCKETS if buckets is None else buckets,
+            help=help,
+        )
+
+    def get(self, name: str) -> _Instrument | None:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def collect(self) -> list[_Instrument]:
+        """All instruments, sorted by name."""
+        with self._lock:
+            return [
+                self._instruments[name]
+                for name in sorted(self._instruments)
+            ]

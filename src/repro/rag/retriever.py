@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.encoding.incident import Statement
 from repro.encoding.tokenizer import count_tokens
 from repro.rag.embeddings import HashedEmbedder
@@ -68,28 +69,39 @@ class GraphRetriever:
         the vector DB stores syntactically complete units (as a langchain
         text splitter on sentence boundaries would).
         """
-        chunks: list[str] = []
-        current: list[str] = []
-        current_tokens = 0
-        for statement in statements:
-            statement_tokens = count_tokens(statement.text)
-            if current and current_tokens + statement_tokens > self.chunk_tokens:
+        with obs.span("rag.index", statements=len(statements)) as sp:
+            chunks: list[str] = []
+            current: list[str] = []
+            current_tokens = 0
+            for statement in statements:
+                statement_tokens = count_tokens(statement.text)
+                if current and current_tokens + statement_tokens > self.chunk_tokens:
+                    chunks.append("\n".join(current))
+                    current = []
+                    current_tokens = 0
+                current.append(statement.text)
+                current_tokens += statement_tokens
+            if current:
                 chunks.append("\n".join(current))
-                current = []
-                current_tokens = 0
-            current.append(statement.text)
-            current_tokens += statement_tokens
-        if current:
-            chunks.append("\n".join(current))
-        self.store.add(chunks)
-        self._chunk_count += len(chunks)
+            self.store.add(chunks)
+            self._chunk_count += len(chunks)
+            sp.set_attribute("chunks", len(chunks))
         return len(chunks)
 
     def retrieve(self, query: str, top_k: int | None = None) -> RetrievalResult:
         """Retrieve context chunks for ``query``."""
         k = top_k if top_k is not None else self.top_k
-        hits = self.store.retrieve(query, top_k=k, diversity=self.diversity)
-        context = "\n".join(hit.text for hit in hits)
+        with obs.span("retrieve", top_k=k) as sp:
+            hits = self.store.retrieve(
+                query, top_k=k, diversity=self.diversity
+            )
+            context = "\n".join(hit.text for hit in hits)
+            sp.set_attribute("chunks", len(hits))
+            sp.set_attribute("chunk_count", self._chunk_count)
+            obs.inc("rag.retrievals")
+            obs.inc("rag.chunks_retrieved", len(hits))
+            for hit in hits:
+                obs.observe("rag.similarity", hit.score)
         return RetrievalResult(
             hits=hits, context=context, chunk_count=self._chunk_count
         )

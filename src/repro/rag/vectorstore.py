@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.rag.embeddings import HashedEmbedder
 
 
@@ -34,12 +35,14 @@ class VectorStore:
         """Embed and index a batch of chunks."""
         if not texts:
             return
-        new_vectors = self.embedder.embed_many(texts)
-        if self._matrix is None:
-            self._matrix = new_vectors
-        else:
-            self._matrix = np.vstack([self._matrix, new_vectors])
-        self._texts.extend(texts)
+        with obs.span("vectorstore.add", chunks=len(texts)):
+            new_vectors = self.embedder.embed_many(texts)
+            if self._matrix is None:
+                self._matrix = new_vectors
+            else:
+                self._matrix = np.vstack([self._matrix, new_vectors])
+            self._texts.extend(texts)
+            obs.inc("rag.chunks_indexed", len(texts))
 
     def __len__(self) -> int:
         return len(self._texts)

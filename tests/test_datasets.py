@@ -182,6 +182,7 @@ def test_generation_independent_of_hash_seed():
     varies with PYTHONHASHSEED) into the graph — regression test for a
     bug where WWC2019's dirt placement depended on hash randomisation."""
     import json
+    import os
     import subprocess
     import sys
 
@@ -197,7 +198,13 @@ def test_generation_independent_of_hash_seed():
         result = subprocess.run(
             [sys.executable, "-c", script],
             capture_output=True, text=True,
-            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            env={
+                "PYTHONHASHSEED": seed,
+                "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+                # the subprocess must find 'repro' however this test
+                # process found it (src layout, editable install, …)
+                "PYTHONPATH": os.pathsep.join(sys.path),
+            },
         )
         assert result.returncode == 0, result.stderr
         outputs.add(result.stdout)

@@ -1,0 +1,260 @@
+"""Unit tests for the repro.obs tracing/metrics/export subsystem."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_collector():
+    """Every test starts and ends with no collector installed."""
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# tracing core
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_nesting_and_attributes(self):
+        collector = obs.install(obs.TraceCollector(wall_clock=FakeClock()))
+        with obs.span("outer", dataset="mini") as outer:
+            outer.set_attribute("extra", 42)
+            with obs.span("inner") as inner:
+                inner.add_sim_time(1.5)
+            with obs.span("inner"):
+                pass
+        assert len(collector.roots) == 1
+        root = collector.roots[0]
+        assert root.name == "outer"
+        assert root.attributes == {"dataset": "mini", "extra": 42}
+        assert [c.name for c in root.children] == ["inner", "inner"]
+        assert root.children[0].sim_seconds == 1.5
+        assert root.children[0].parent_id == root.span_id
+        assert all(s.finished for s in collector.iter_spans())
+
+    def test_noop_without_collector(self):
+        assert obs.get_collector() is None
+        with obs.span("anything", key="value") as sp:
+            sp.set_attribute("a", 1)
+            sp.add_sim_time(3.0)
+        # nothing was recorded anywhere and nothing raised
+        obs.inc("some.counter", 5)
+        obs.observe("some.histogram", 0.1)
+        obs.set_gauge("some.gauge", 7)
+        assert obs.get_collector() is None
+
+    def test_injectable_clock_is_deterministic(self):
+        def run_once() -> list[tuple[str, float, float]]:
+            collector = obs.install(
+                obs.TraceCollector(wall_clock=FakeClock(step=0.25))
+            )
+            with obs.span("a"):
+                with obs.span("b"):
+                    pass
+            obs.uninstall()
+            return [
+                (s.name, s.start_wall, s.end_wall)
+                for s in collector.iter_spans()
+            ]
+
+        assert run_once() == run_once()
+        # start/end follow the fake clock exactly: a opens at 0.25,
+        # b spans [0.50, 0.75], a closes at 1.00
+        assert run_once() == [("a", 0.25, 1.0), ("b", 0.5, 0.75)]
+
+    def test_exception_marks_span_and_unwinds(self):
+        collector = obs.install(obs.TraceCollector(wall_clock=FakeClock()))
+        with pytest.raises(ValueError):
+            with obs.span("failing"):
+                raise ValueError("boom")
+        (root,) = collector.roots
+        assert root.attributes["error"] == "ValueError"
+        assert root.finished
+        # the per-thread stack is empty again: new spans become roots
+        with obs.span("after"):
+            pass
+        assert [s.name for s in collector.roots] == ["failing", "after"]
+
+    def test_traced_decorator(self):
+        collector = obs.install(obs.TraceCollector(wall_clock=FakeClock()))
+
+        @obs.traced("my.op", flavour="test")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        (root,) = collector.roots
+        assert root.name == "my.op"
+        assert root.attributes == {"flavour": "test"}
+
+    def test_aggregate_by_name(self):
+        collector = obs.install(obs.TraceCollector(wall_clock=FakeClock()))
+        for _ in range(3):
+            with obs.span("work") as sp:
+                sp.add_sim_time(2.0)
+        stats = collector.aggregate()
+        assert stats["work"].count == 3
+        assert stats["work"].sim_seconds == pytest.approx(6.0)
+        # FakeClock advances 1s per call; each span costs start+end
+        assert stats["work"].wall_seconds == pytest.approx(3.0)
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_labels_and_totals(self):
+        registry = obs.MetricsRegistry()
+        counter = registry.counter("llm.calls")
+        counter.inc(1, model="llama3")
+        counter.inc(2, model="mixtral")
+        counter.inc(1, model="llama3")
+        assert counter.value(model="llama3") == 2
+        assert counter.value(model="mixtral") == 2
+        assert counter.total() == 4
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        # get-or-create returns the same instrument; kind clash raises
+        assert registry.counter("llm.calls") is counter
+        with pytest.raises(TypeError):
+            registry.gauge("llm.calls")
+
+    def test_gauge(self):
+        registry = obs.MetricsRegistry()
+        gauge = registry.gauge("queue.depth")
+        gauge.set(10, worker=1)
+        gauge.add(-3, worker=1)
+        assert gauge.value(worker=1) == 7
+        assert gauge.value(worker=2) == 0
+
+    def test_histogram_bucketing(self):
+        registry = obs.MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        # <=0.1 gets 0.05 and 0.1; <=1.0 gets 0.5 and 1.0; <=10.0 gets
+        # 5.0; +Inf overflow gets 100.0
+        assert snap.counts == (2, 2, 1, 1)
+        assert snap.cumulative() == (2, 4, 5, 6)
+        assert snap.count == 6
+        assert snap.sum == pytest.approx(106.65)
+
+    def test_histogram_rejects_bad_buckets(self):
+        registry = obs.MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("empty", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("dupes", buckets=(1.0, 1.0))
+
+    def test_thread_safety(self):
+        registry = obs.MetricsRegistry()
+        counter = registry.counter("hits")
+        hist = registry.histogram("values", buckets=(0.5,))
+        threads = 8
+        per_thread = 2000
+
+        def work(worker: int) -> None:
+            for _ in range(per_thread):
+                counter.inc(1, worker=worker % 2)
+                hist.observe(0.25)
+
+        pool = [
+            threading.Thread(target=work, args=(i,)) for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.total() == threads * per_thread
+        assert hist.snapshot().count == threads * per_thread
+
+    def test_spans_from_multiple_threads(self):
+        collector = obs.install(obs.TraceCollector(wall_clock=FakeClock()))
+
+        def work(worker: int) -> None:
+            with obs.span("worker", worker_id=worker):
+                with obs.span("step"):
+                    obs.inc("steps")
+
+        pool = [threading.Thread(target=work, args=(i,)) for i in range(6)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        # each thread gets its own stack: 6 roots, each with one child
+        assert len(collector.roots) == 6
+        assert all(len(root.children) == 1 for root in collector.roots)
+        assert collector.metrics.counter("steps").total() == 6
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+class TestExport:
+    def _sample_collector(self) -> obs.TraceCollector:
+        collector = obs.install(obs.TraceCollector(wall_clock=FakeClock()))
+        with obs.span("root", dataset="mini") as root:
+            root.add_sim_time(4.0)
+            with obs.span("leaf", index=0):
+                obs.inc("calls", 3, model="llama3")
+                obs.observe("lat", 0.2, model="llama3")
+                obs.set_gauge("depth", 2)
+        obs.uninstall()
+        return collector
+
+    def test_jsonl_round_trip(self):
+        collector = self._sample_collector()
+        text = obs.to_jsonl(collector)
+        parsed = obs.parse_jsonl(text)
+        assert parsed.span_names() == {"root", "leaf"}
+        (root,) = parsed.roots
+        assert root.name == "root"
+        assert root.attributes == {"dataset": "mini"}
+        assert root.sim_seconds == pytest.approx(4.0)
+        assert [c.name for c in root.children] == ["leaf"]
+        assert root.children[0].attributes == {"index": 0}
+        assert parsed.counter_value("calls") == 3
+        kinds = {record["kind"] for record in parsed.metrics}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+    def test_write_jsonl(self, tmp_path):
+        collector = self._sample_collector()
+        path = tmp_path / "trace.jsonl"
+        obs.write_jsonl(collector, str(path))
+        parsed = obs.parse_jsonl(path.read_text())
+        assert parsed.span_names() == {"root", "leaf"}
+
+    def test_prometheus_text(self):
+        collector = self._sample_collector()
+        text = obs.prometheus_text(collector.metrics)
+        assert "# TYPE calls counter" in text
+        assert 'calls{model="llama3"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="+Inf",model="llama3"} 1' in text
+        assert 'lat_count{model="llama3"} 1' in text
+
+    def test_summary_table(self):
+        collector = self._sample_collector()
+        table = obs.summary_table(collector)
+        assert "root" in table and "leaf" in table
+        assert "calls" in table and "model=llama3" in table
