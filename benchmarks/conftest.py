@@ -28,7 +28,7 @@ def swa_pipelines(contexts):
         for name, context in contexts.items()
     }
     for pipeline in pipelines.values():
-        pipeline.window_set  # pre-chunk so benches measure mining
+        pipeline.warm()  # pre-chunk so benches measure mining
     return pipelines
 
 
@@ -38,7 +38,7 @@ def rag_pipelines(contexts):
         name: RAGPipeline(context) for name, context in contexts.items()
     }
     for pipeline in pipelines.values():
-        pipeline._ensure_index()  # pre-embed so benches measure mining
+        pipeline.warm()  # pre-embed so benches measure mining
     return pipelines
 
 

@@ -8,6 +8,10 @@ Usage::
     repro-experiments figures       # pipeline trace + §4.5 counts
     repro-experiments table5 --obs  # plus observability summary
     repro-experiments table5 --trace-out trace.jsonl
+
+    # run a grid slice through the job service (workers + disk cache)
+    repro-experiments serve --jobs 4 --cache-dir ~/.repro-cache
+    repro-experiments serve --datasets wwc2019 --methods rag --obs
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ import argparse
 import sys
 
 from repro import obs
+from repro.datasets.registry import DATASET_NAMES
 from repro.experiments import (
     extensions,
     figures,
@@ -24,7 +29,9 @@ from repro.experiments import (
     table5,
     table6,
 )
-from repro.mining.runner import ExperimentRunner
+from repro.llm.profiles import MODEL_NAMES
+from repro.mining.pipeline import PROMPT_MODES
+from repro.mining.runner import METHODS, ExperimentRunner
 
 TARGETS = (
     "table1", "table2", "table3", "table4", "table5", "table6",
@@ -63,7 +70,135 @@ def emit(target: str, runner: ExperimentRunner) -> str:
     raise ValueError(f"unknown target {target!r}")
 
 
+# ----------------------------------------------------------------------
+# serve: grid cells as service jobs
+# ----------------------------------------------------------------------
+def serve_main(argv: list[str]) -> int:
+    """Run a grid slice through :class:`repro.service.MiningService`."""
+    from repro.service import JobFailedError, MiningService, RetryPolicy
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description=(
+            "Mine a grid slice through the in-process job service: "
+            "worker pool, retry/backoff, and an on-disk result cache "
+            "keyed by graph + code + config."
+        ),
+    )
+    parser.add_argument(
+        "--datasets", nargs="+", choices=DATASET_NAMES, default=None,
+        help="datasets to mine (default: all three)",
+    )
+    parser.add_argument(
+        "--models", nargs="+", choices=MODEL_NAMES, default=None,
+        help="models to mine with (default: both)",
+    )
+    parser.add_argument(
+        "--methods", nargs="+", choices=METHODS, default=None,
+        help="mining methods (default: both)",
+    )
+    parser.add_argument(
+        "--prompts", nargs="+", choices=PROMPT_MODES, default=None,
+        help="prompt modes (default: both)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker threads executing jobs (default 2)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="on-disk result cache; repeated cells become cache hits",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="retries per job on transient LLM failures (default 3)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for the simulated LLMs (default 0)",
+    )
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="collect a trace and print the observability summary",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the JSONL span/metric trace to PATH (implies --obs)",
+    )
+    args = parser.parse_args(argv)
+
+    collector = None
+    if args.obs or args.trace_out:
+        collector = obs.install()
+    failed = 0
+    try:
+        service = MiningService(
+            cache_dir=args.cache_dir,
+            workers=args.jobs,
+            retry_policy=RetryPolicy(max_retries=args.max_retries),
+            base_seed=args.seed,
+        )
+        with service:
+            job_ids = service.submit_grid(
+                datasets=args.datasets, models=args.models,
+                methods=args.methods, prompt_modes=args.prompts,
+            )
+            rows = []
+            for job_id in job_ids:
+                try:
+                    service.result(job_id)
+                except JobFailedError:
+                    failed += 1
+                status = service.status(job_id)
+                rows.append(status)
+                cell = "/".join(status["cell"])
+                source = "cache" if status["cache_hit"] else "mined"
+                print(
+                    f"{status['job_id'][:12]}  {cell:<45} "
+                    f"{status['state']:<9} {source:<6} "
+                    f"attempts={status['attempts']} "
+                    f"run={status['run_seconds']:.2f}s"
+                )
+        stats = service.stats()
+        cache = stats["cache"]
+        print()
+        print(
+            f"service: {stats['submitted']} jobs "
+            f"({stats['jobs']['done']} done, {stats['jobs']['failed']} "
+            f"failed), {stats['cache_hits']} cache hits, "
+            f"{stats['retries']} retries, "
+            f"max queue depth {stats['queue_max_depth']}"
+        )
+        if cache is not None:
+            print(
+                f"cache: {cache['hits']} hits / {cache['misses']} misses "
+                f"({cache['hit_rate']:.0%} hit rate), "
+                f"{cache['stores']} stores"
+            )
+        if collector is not None:
+            print()
+            print(obs.summary_table(collector))
+            if args.trace_out:
+                try:
+                    obs.write_jsonl(collector, args.trace_out)
+                except OSError as error:
+                    print(
+                        f"cannot write trace to {args.trace_out}: {error}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print(f"trace written to {args.trace_out}")
+    finally:
+        if collector is not None:
+            obs.uninstall()
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -73,7 +208,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "targets", nargs="*", default=["all"],
-        help=f"what to regenerate: {', '.join(TARGETS)}",
+        help=(
+            f"what to regenerate: {', '.join(TARGETS)} — or the "
+            "'serve' subcommand (see: repro-experiments serve --help)"
+        ),
     )
     parser.add_argument(
         "--seed", type=int, default=0,

@@ -3,7 +3,10 @@
 from repro.llm.base import CallLog, Completion, LLMClient, SimulatedClock
 from repro.llm.faults import (
     HALLUCINATED_PROPERTY_POOL,
+    FlakyLLM,
     InjectionResult,
+    TransientFaultInjector,
+    TransientLLMError,
     flip_first_direction,
     inject_property_fault,
     inject_syntax_fault,
@@ -42,6 +45,7 @@ __all__ = [
     "DISPLAY_NAMES",
     "EdgeObservation",
     "FORMAT_DETECTORS",
+    "FlakyLLM",
     "HALLUCINATED_PROPERTY_POOL",
     "InductionEngine",
     "InjectionResult",
@@ -60,6 +64,8 @@ __all__ = [
     "SimulatedClock",
     "SimulatedLLM",
     "TIME_PROPERTY_NAMES",
+    "TransientFaultInjector",
+    "TransientLLMError",
     "VisibleGraphView",
     "extract_section",
     "flip_first_direction",

@@ -1,4 +1,4 @@
-"""Cypher-generation fault injection — the paper's three error categories.
+"""LLM fault injection: Cypher errors and transient call failures.
 
 §4.4 buckets the LLMs' wrong queries into: (1) flipped relationship
 directions, (2) references to properties that do not exist, (3) syntax
@@ -7,12 +7,19 @@ quantifier (``(2,)`` instead of ``{2,}``).  The injector applies at most
 one fault per query, with per-model rates, on a seeded RNG — so the
 whole study's error census is reproducible and lands near the paper's
 observation of ~5 direction flips overall.
+
+Separately from *wrong answers*, real deployments also see *failed
+calls*: timeouts, 429s, connection resets.  :class:`TransientLLMError`
+models that class of failure, and :class:`TransientFaultInjector` /
+:class:`FlakyLLM` inject it deterministically around any LLM client so
+the service layer's retry/backoff path can be exercised end to end.
 """
 
 from __future__ import annotations
 
 import random
 import re
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -128,6 +135,62 @@ def inject_property_fault(
         + "." + replacement
         + query_text[target.end():]
     )
+
+
+# ----------------------------------------------------------------------
+# transient call failures
+# ----------------------------------------------------------------------
+class TransientLLMError(RuntimeError):
+    """A retriable LLM-call failure (timeout, 429, connection reset)."""
+
+
+class TransientFaultInjector:
+    """Fails the first ``failures`` completions it sees, then passes.
+
+    Used as a pipeline ``llm_middleware``: calling the injector with an
+    LLM client wraps it in a :class:`FlakyLLM` sharing this budget, so a
+    bounded burst of transient failures spans retries (and replicas)
+    regardless of which wrapped client receives the next call.
+    """
+
+    def __init__(
+        self,
+        failures: int = 1,
+        message: str = "simulated transient LLM failure",
+    ) -> None:
+        self.remaining = failures
+        self.injected = 0
+        self.message = message
+        self._lock = threading.Lock()
+
+    def take(self) -> bool:
+        """Consume one failure from the budget, if any remains."""
+        with self._lock:
+            if self.remaining <= 0:
+                return False
+            self.remaining -= 1
+            self.injected += 1
+            return True
+
+    def __call__(self, llm) -> "FlakyLLM":
+        return FlakyLLM(llm, self)
+
+
+class FlakyLLM:
+    """Wraps any LLM client; raises :class:`TransientLLMError` while the
+    injector's failure budget lasts, then delegates transparently."""
+
+    def __init__(self, inner, injector: TransientFaultInjector) -> None:
+        self._inner = inner
+        self._injector = injector
+
+    def complete(self, prompt: str):
+        if self._injector.take():
+            raise TransientLLMError(self._injector.message)
+        return self._inner.complete(prompt)
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
 
 
 def maybe_inject(

@@ -11,6 +11,9 @@ from repro.mining.pipeline import (
 )
 from repro.mining.parallel import ParallelSlidingWindowPipeline, WorkerReport
 from repro.mining.persistence import (
+    FORMAT_VERSION,
+    UnsupportedFormatError,
+    check_format_version,
     load_runs,
     rule_from_dict,
     rule_to_dict,
@@ -28,6 +31,7 @@ __all__ = [
     "BasePipeline",
     "ExperimentRunner",
     "FEW_SHOT",
+    "FORMAT_VERSION",
     "METHODS",
     "MiningRun",
     "PROMPT_MODES",
@@ -38,9 +42,11 @@ __all__ = [
     "RuleResult",
     "SlidingWindowPipeline",
     "SummaryPipeline",
+    "UnsupportedFormatError",
     "WorkerReport",
     "ZERO_SHOT",
     "build_summary_statements",
+    "check_format_version",
     "combine_and_cap",
     "load_runs",
     "rule_from_dict",

@@ -77,6 +77,10 @@ class ParallelSlidingWindowPipeline(BasePipeline):
             )
         return self._window_set
 
+    def warm(self) -> None:
+        """Chunk the windows now instead of on the first ``mine()``."""
+        self.window_set
+
     # ------------------------------------------------------------------
     def mine(self, model: str, prompt_mode: str) -> MiningRun:
         profile = get_profile(model)
@@ -88,14 +92,17 @@ class ParallelSlidingWindowPipeline(BasePipeline):
         reports: list[WorkerReport] = []
         for worker_id in range(self.workers):
             clock = SimulatedClock()
-            replicas.append(SimulatedLLM(
+            replica = SimulatedLLM(
                 profile=profile,
                 seed=run_seed(
                     self.context.name, profile.name, "sliding_window",
                     prompt_mode, base_seed=self.base_seed,
                 ),
                 clock=clock,
-            ))
+            )
+            if self.llm_middleware is not None:
+                replica = self.llm_middleware(replica)
+            replicas.append(replica)
             reports.append(WorkerReport(worker_id=worker_id, clock=clock))
 
         run = MiningRun(

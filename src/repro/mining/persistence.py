@@ -27,6 +27,36 @@ from repro.rules.translator import MetricQueries
 FORMAT_VERSION = 1
 
 
+class UnsupportedFormatError(ValueError):
+    """The payload's format version cannot be read by this library."""
+
+
+def check_format_version(payload: dict[str, Any], what: str = "payload") -> int:
+    """Validate a payload's ``format_version`` before deserializing.
+
+    Rejecting up front — with a message that says whether the archive is
+    from a *newer* library (upgrade) or simply unknown — beats the
+    obscure ``KeyError`` deep inside field-by-field reconstruction that
+    a silently-attempted load would produce.
+    """
+    version = payload.get("format_version", FORMAT_VERSION)
+    if not isinstance(version, int):
+        raise UnsupportedFormatError(
+            f"{what} has a non-integer format_version: {version!r}"
+        )
+    if version > FORMAT_VERSION:
+        raise UnsupportedFormatError(
+            f"{what} uses format version {version}, but this library "
+            f"only reads up to {FORMAT_VERSION}; upgrade repro to load it"
+        )
+    if version != FORMAT_VERSION:
+        raise UnsupportedFormatError(
+            f"{what} uses unsupported format version {version} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return version
+
+
 # ----------------------------------------------------------------------
 # rules
 # ----------------------------------------------------------------------
@@ -123,9 +153,7 @@ def run_to_dict(run: MiningRun) -> dict[str, Any]:
 
 
 def run_from_dict(payload: dict[str, Any]) -> MiningRun:
-    version = payload.get("format_version", FORMAT_VERSION)
-    if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported run format version: {version}")
+    check_format_version(payload, what="run record")
     run = MiningRun(
         dataset=payload["dataset"],
         model=payload["model"],
@@ -204,7 +232,5 @@ def load_runs(path: str | Path) -> list[MiningRun]:
     """Load runs archived with :func:`save_runs`."""
     with open(path) as handle:
         payload = json.load(handle)
-    version = payload.get("format_version", FORMAT_VERSION)
-    if version != FORMAT_VERSION:
-        raise ValueError(f"unsupported archive version: {version}")
+    check_format_version(payload, what=f"archive {path}")
     return [run_from_dict(record) for record in payload.get("runs", ())]

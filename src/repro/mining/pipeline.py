@@ -222,6 +222,20 @@ class BasePipeline:
         self.context = context
         self.base_seed = base_seed
         self.corrector = QueryCorrector(context.schema)
+        #: optional wrapper applied to every LLM this pipeline creates —
+        #: the service layer uses it to inject transient-failure faults
+        #: (and a real deployment could use it for rate limiting or
+        #: logging) without subclassing the pipelines
+        self.llm_middleware = None
+
+    # ------------------------------------------------------------------
+    def warm(self) -> None:
+        """Pre-build any lazily-initialised shared state.
+
+        Subclasses override this to chunk windows / build vector
+        indexes up front, so concurrent ``mine()`` calls only ever read
+        shared state and benchmarks measure mining, not setup.
+        """
 
     # ------------------------------------------------------------------
     def make_llm(
@@ -237,6 +251,8 @@ class BasePipeline:
             ),
             clock=clock,
         )
+        if self.llm_middleware is not None:
+            llm = self.llm_middleware(llm)
         return llm, clock
 
     def run_rng(self, model_name: str, prompt_mode: str) -> random.Random:

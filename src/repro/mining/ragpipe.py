@@ -47,6 +47,10 @@ class RAGPipeline(BasePipeline):
             self.retriever.index_statements(self.context.statements)
             self._indexed = True
 
+    def warm(self) -> None:
+        """Chunk + embed + index now instead of on the first ``mine()``."""
+        self._ensure_index()
+
     # ------------------------------------------------------------------
     def mine(self, model: str, prompt_mode: str) -> MiningRun:
         llm, clock = self.make_llm(model, prompt_mode)

@@ -48,6 +48,10 @@ class SlidingWindowPipeline(BasePipeline):
             )
         return self._window_set
 
+    def warm(self) -> None:
+        """Chunk the windows now instead of on the first ``mine()``."""
+        self.window_set
+
     # ------------------------------------------------------------------
     def mine(self, model: str, prompt_mode: str) -> MiningRun:
         llm, clock = self.make_llm(model, prompt_mode)

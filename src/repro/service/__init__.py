@@ -1,0 +1,48 @@
+"""repro.service — in-process mining job service.
+
+The experiment grid as schedulable work: content-addressed jobs, a
+bounded priority queue with backpressure, a worker pool with
+retry/backoff around the LLM pipelines, and an on-disk result cache
+layered on :mod:`repro.mining.persistence`.
+"""
+
+from repro.service.api import JobFailedError, MiningService, UnknownJobError
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.jobs import (
+    Job,
+    JobSpec,
+    JobState,
+    cache_key,
+    code_fingerprint,
+    graph_fingerprint,
+)
+from repro.service.queue import JobQueue, QueueClosed, QueueFull
+from repro.service.workers import (
+    JobTimeoutError,
+    RetriesExhaustedError,
+    RetryPolicy,
+    WorkerPool,
+    call_with_retry,
+)
+
+__all__ = [
+    "CacheStats",
+    "Job",
+    "JobFailedError",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "JobTimeoutError",
+    "MiningService",
+    "QueueClosed",
+    "QueueFull",
+    "ResultCache",
+    "RetriesExhaustedError",
+    "RetryPolicy",
+    "UnknownJobError",
+    "WorkerPool",
+    "cache_key",
+    "call_with_retry",
+    "code_fingerprint",
+    "graph_fingerprint",
+]

@@ -1,0 +1,405 @@
+"""Client facade: the in-process mining job service.
+
+:class:`MiningService` turns the experiment grid into schedulable work::
+
+    with MiningService(cache_dir="~/.repro-cache", workers=4) as service:
+        job_id = service.submit("wwc2019", "llama3", "rag", "zero_shot")
+        run = service.result(job_id)        # blocks until DONE
+        print(service.stats()["cache"])     # hit rate, stores, ...
+
+Submission is idempotent: a job's id is the content address of its
+(graph, code, config) triple, so submitting the same cell twice yields
+the same id and at most one mining run.  Results persist in the on-disk
+:class:`~repro.service.cache.ResultCache`, so a fresh process re-serving
+an already-mined cell answers from cache without touching a pipeline.
+Transient LLM failures are retried with exponential backoff per the
+:class:`~repro.service.workers.RetryPolicy`; everything is instrumented
+through :mod:`repro.obs` (queue depth, cache hit/miss, retries, job
+latency histograms).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro import obs
+from repro.datasets.base import Dataset
+from repro.datasets.registry import DATASET_NAMES, load
+from repro.llm.profiles import MODEL_NAMES
+from repro.mining.pipeline import PROMPT_MODES, BasePipeline, PipelineContext
+from repro.mining.ragpipe import RAGPipeline
+from repro.mining.result import MiningRun
+from repro.mining.runner import METHODS
+from repro.mining.sliding import SlidingWindowPipeline
+from repro.service.cache import ResultCache
+from repro.service.jobs import Job, JobSpec, JobState, cache_key, graph_fingerprint
+from repro.service.queue import JobQueue, QueueFull
+from repro.service.workers import RetryPolicy, WorkerPool, call_with_retry
+
+__all__ = [
+    "JobFailedError",
+    "MiningService",
+    "UnknownJobError",
+]
+
+
+class UnknownJobError(KeyError):
+    """No job with that id was ever submitted to this service."""
+
+
+class JobFailedError(RuntimeError):
+    """The awaited job finished FAILED or CANCELLED."""
+
+    def __init__(self, job: Job) -> None:
+        super().__init__(
+            f"job {job.job_id[:12]} ({'/'.join(job.spec.cell())}) "
+            f"finished {job.state.value}"
+            + (f": {job.error}" if job.error else "")
+        )
+        self.job = job
+
+
+class MiningService:
+    """Scheduler + worker pool + content-addressed result cache."""
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        workers: int = 2,
+        queue_depth: int = 64,
+        retry_policy: RetryPolicy | None = None,
+        loader: Callable[[str], Dataset] | None = None,
+        base_seed: int = 0,
+        window_size: int = 8000,
+        overlap: int = 500,
+        rag_chunk_tokens: int = 512,
+        rag_top_k: int = 16,
+        llm_middleware: Callable[[object], object] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.loader = loader or load
+        self.base_seed = base_seed
+        self.window_size = window_size
+        self.overlap = overlap
+        self.rag_chunk_tokens = rag_chunk_tokens
+        self.rag_top_k = rag_top_k
+        self.llm_middleware = llm_middleware
+        self._sleep = sleep
+        self._clock = clock
+        self.cache = (
+            ResultCache(cache_dir) if cache_dir is not None else None
+        )
+        self.queue = JobQueue(maxsize=queue_depth)
+        self.pool = WorkerPool(self.queue, self._execute, workers=workers)
+        self._jobs: dict[str, Job] = {}
+        self._contexts: dict[str, PipelineContext] = {}
+        self._fingerprints: dict[str, str] = {}
+        self._pipelines: dict[tuple, BasePipeline] = {}
+        self._lock = threading.Lock()         # job table + state moves
+        self._build_lock = threading.Lock()   # context/pipeline builds
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MiningService":
+        if not self._started:
+            self._started = True
+            self.pool.start()
+        return self
+
+    def shutdown(self, wait: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting jobs; optionally wait for the queue to drain."""
+        self.queue.close()
+        if wait and self._started:
+            self.pool.join(timeout=timeout)
+
+    def __enter__(self) -> "MiningService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # dataset / pipeline plumbing
+    # ------------------------------------------------------------------
+    def _dataset(self, name: str) -> Dataset:
+        return self.loader(name.lower())
+
+    def _graph_fingerprint(self, dataset: str) -> str:
+        key = dataset.lower()
+        with self._build_lock:
+            if key not in self._fingerprints:
+                self._fingerprints[key] = graph_fingerprint(
+                    self._dataset(key).graph
+                )
+            return self._fingerprints[key]
+
+    def _context(self, dataset: str) -> PipelineContext:
+        key = dataset.lower()
+        if key not in self._contexts:
+            self._contexts[key] = PipelineContext.build(self._dataset(key))
+        return self._contexts[key]
+
+    def _pipeline(self, spec: JobSpec) -> BasePipeline:
+        key = (
+            spec.dataset.lower(), spec.method, spec.base_seed,
+            spec.window_size, spec.overlap,
+            spec.rag_chunk_tokens, spec.rag_top_k,
+        )
+        with self._build_lock:
+            pipeline = self._pipelines.get(key)
+            if pipeline is None:
+                context = self._context(spec.dataset)
+                if spec.method == "sliding_window":
+                    pipeline = SlidingWindowPipeline(
+                        context, window_size=spec.window_size,
+                        overlap=spec.overlap, base_seed=spec.base_seed,
+                    )
+                else:
+                    pipeline = RAGPipeline(
+                        context, chunk_tokens=spec.rag_chunk_tokens,
+                        top_k=spec.rag_top_k, base_seed=spec.base_seed,
+                    )
+                pipeline.llm_middleware = self.llm_middleware
+                # pre-build windows / vector index under the lock so
+                # concurrent mine() calls only ever read shared state
+                pipeline.warm()
+                self._pipelines[key] = pipeline
+            return pipeline
+
+    def _spec(
+        self, dataset: str, model: str, method: str, prompt_mode: str,
+        **overrides: object,
+    ) -> JobSpec:
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; one of {METHODS}")
+        if prompt_mode not in PROMPT_MODES:
+            raise ValueError(
+                f"unknown prompt mode {prompt_mode!r}; one of {PROMPT_MODES}"
+            )
+        defaults = {
+            "base_seed": self.base_seed,
+            "window_size": self.window_size,
+            "overlap": self.overlap,
+            "rag_chunk_tokens": self.rag_chunk_tokens,
+            "rag_top_k": self.rag_top_k,
+        }
+        unknown = set(overrides) - set(defaults)
+        if unknown:
+            raise TypeError(f"unknown spec overrides: {sorted(unknown)}")
+        defaults.update(overrides)
+        return JobSpec(
+            dataset=dataset.lower(), model=model.lower(),
+            method=method, prompt_mode=prompt_mode, **defaults,
+        )
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        dataset: str,
+        model: str,
+        method: str,
+        prompt_mode: str,
+        priority: int = 0,
+        block: bool = True,
+        timeout: Optional[float] = None,
+        **overrides: object,
+    ) -> str:
+        """Submit one grid cell; returns its content-addressed job id.
+
+        Re-submitting an identical cell returns the existing job's id
+        without queueing new work; a cell already present in the on-disk
+        cache completes immediately as a DONE cache-hit job.  When the
+        queue is at capacity the call blocks (``block``/``timeout``
+        control backpressure behaviour; :class:`QueueFull` on refusal).
+        """
+        self.start()
+        spec = self._spec(dataset, model, method, prompt_mode, **overrides)
+        job_id = cache_key(spec, self._graph_fingerprint(spec.dataset))
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                return job_id
+        job = Job(
+            spec=spec, job_id=job_id, priority=priority,
+            submitted_at=self._clock(),
+        )
+        cached = self.cache.get(job_id) if self.cache is not None else None
+        if cached is not None:
+            job.result = cached
+            job.cache_hit = True
+            job.state = JobState.DONE
+            job.finished_at = job.submitted_at
+            job.done.set()
+            with self._lock:
+                self._jobs[job_id] = job
+            obs.inc("service.jobs_submitted")
+            obs.inc("service.jobs_completed", cache_hit=True)
+            return job_id
+        with self._lock:
+            self._jobs[job_id] = job
+        try:
+            self.queue.put(job, priority=priority, block=block, timeout=timeout)
+        except QueueFull:
+            with self._lock:
+                self._jobs.pop(job_id, None)
+            raise
+        obs.inc("service.jobs_submitted")
+        return job_id
+
+    def submit_grid(
+        self,
+        datasets: tuple[str, ...] | list[str] | None = None,
+        models: tuple[str, ...] | list[str] | None = None,
+        methods: tuple[str, ...] | list[str] | None = None,
+        prompt_modes: tuple[str, ...] | list[str] | None = None,
+        priority: int = 0,
+    ) -> list[str]:
+        """Submit a grid slice; returns job ids in submission order."""
+        ids = []
+        for dataset in datasets or DATASET_NAMES:
+            for prompt_mode in prompt_modes or PROMPT_MODES:
+                for method in methods or METHODS:
+                    for model in models or MODEL_NAMES:
+                        ids.append(self.submit(
+                            dataset, model, method, prompt_mode,
+                            priority=priority,
+                        ))
+        return ids
+
+    def _job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        return job
+
+    def status(self, job_id: str) -> dict[str, object]:
+        """A plain-dict snapshot of one job's lifecycle."""
+        return self._job(job_id).snapshot()
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> MiningRun:
+        """Block until the job finishes; return its MiningRun."""
+        job = self._job(job_id)
+        if not job.done.wait(timeout=timeout):
+            raise TimeoutError(
+                f"job {job_id[:12]} still {job.state.value} after {timeout}s"
+            )
+        if job.state is not JobState.DONE:
+            raise JobFailedError(job)
+        return job.result
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job; running jobs cannot be recalled."""
+        job = self._job(job_id)
+        with self._lock:
+            if job.state is not JobState.QUEUED:
+                return False
+            job.state = JobState.CANCELLED
+            job.finished_at = self._clock()
+        job.done.set()
+        obs.inc("service.jobs_cancelled")
+        return True
+
+    def stats(self) -> dict[str, object]:
+        """Service-level accounting for dashboards and the CLI."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        by_state: dict[str, int] = {state.value: 0 for state in JobState}
+        for job in jobs:
+            by_state[job.state.value] += 1
+        cache_stats = self.cache.stats if self.cache is not None else None
+        return {
+            "jobs": by_state,
+            "submitted": len(jobs),
+            "cache_hits": sum(1 for job in jobs if job.cache_hit),
+            "retries": sum(job.retries for job in jobs),
+            "attempts": sum(job.attempts for job in jobs),
+            "queue_depth": self.queue.depth,
+            "queue_max_depth": self.queue.max_depth_seen,
+            "workers": self.pool.alive,
+            "cache": (
+                {
+                    "hits": cache_stats.hits,
+                    "misses": cache_stats.misses,
+                    "stores": cache_stats.stores,
+                    "evictions": cache_stats.evictions,
+                    "hit_rate": cache_stats.hit_rate,
+                }
+                if cache_stats is not None else None
+            ),
+        }
+
+    def mine(
+        self, dataset: str, model: str, method: str, prompt_mode: str,
+        timeout: Optional[float] = None, **overrides: object,
+    ) -> MiningRun:
+        """Submit-and-wait convenience for synchronous callers."""
+        job_id = self.submit(dataset, model, method, prompt_mode, **overrides)
+        return self.result(job_id, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _execute(self, job: Job) -> None:
+        with self._lock:
+            if job.state is not JobState.QUEUED:
+                return  # cancelled while waiting in the heap
+            job.state = JobState.RUNNING
+            job.started_at = self._clock()
+        spec = job.spec
+        obs.observe("service.job_wait_seconds", job.wait_seconds)
+
+        def attempt() -> MiningRun:
+            job.attempts += 1
+            with obs.span(
+                "service.attempt",
+                job_id=job.job_id[:12], attempt=job.attempts,
+            ):
+                pipeline = self._pipeline(spec)
+                return pipeline.mine(spec.model, spec.prompt_mode)
+
+        def on_retry(attempts: int, pause: float, error: BaseException) -> None:
+            job.retries += 1
+            obs.inc("service.retries")
+            obs.observe("service.retry_backoff_seconds", pause)
+
+        try:
+            with obs.span(
+                "service.job",
+                job_id=job.job_id[:12],
+                dataset=spec.dataset, model=spec.model,
+                method=spec.method, prompt_mode=spec.prompt_mode,
+            ) as sp:
+                run = call_with_retry(
+                    attempt, self.retry_policy,
+                    sleep=self._sleep, clock=self._clock,
+                    on_retry=on_retry,
+                )
+                sp.set_attribute("attempts", job.attempts)
+                sp.set_attribute("rules", run.rule_count)
+            if self.cache is not None:
+                self.cache.put(
+                    job.job_id, run,
+                    meta={"cell": list(spec.cell()),
+                          "attempts": job.attempts},
+                )
+            job.result = run
+            job.state = JobState.DONE
+            obs.inc("service.jobs_completed", cache_hit=False)
+        except Exception as error:
+            job.error = f"{type(error).__name__}: {error}"
+            job.state = JobState.FAILED
+            obs.inc("service.jobs_failed", error=type(error).__name__)
+        finally:
+            job.finished_at = self._clock()
+            obs.observe("service.job_seconds", job.run_seconds)
+            job.done.set()

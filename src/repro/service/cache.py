@@ -1,0 +1,137 @@
+"""Content-addressed on-disk cache of mining results.
+
+Entries are keyed by the job's content address (see
+:func:`repro.service.jobs.cache_key`): graph fingerprint + code
+fingerprint + full pipeline config.  A repeated request — even from a
+fresh process — is a cache hit; any change to the graph, the pipeline
+code or a config knob produces a different address and therefore a
+guaranteed miss.  Payloads are the JSON archive format of
+:mod:`repro.mining.persistence`, so cached runs survive across versions
+exactly as long as the archive format does, and a newer-format entry is
+rejected loudly rather than mis-read.
+
+Writes are atomic (tmp file + rename) so a crashed worker can never
+leave a half-written entry that poisons later runs; unreadable or
+corrupt entries degrade to a miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro import obs
+from repro.mining.persistence import (
+    FORMAT_VERSION,
+    UnsupportedFormatError,
+    run_from_dict,
+    run_to_dict,
+)
+from repro.mining.result import MiningRun
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class ResultCache:
+    """Sharded ``<digest[:2]>/<digest>.json`` store of MiningRun records."""
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[MiningRun]:
+        """Fetch a cached run, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("key") != key:
+                raise ValueError("cache entry key mismatch")
+            run = run_from_dict(payload["run"])
+        except FileNotFoundError:
+            self._miss(key)
+            return None
+        except UnsupportedFormatError:
+            # a newer library wrote this entry; leave it for that
+            # library and treat it as a miss here
+            self._miss(key)
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # corrupt entry: drop it so it cannot poison later lookups
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._lock:
+                self.stats.evictions += 1
+            self._miss(key)
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        obs.inc("service.cache.hits")
+        return run
+
+    def put(
+        self,
+        key: str,
+        run: MiningRun,
+        meta: Optional[dict[str, object]] = None,
+    ) -> Path:
+        """Store a run atomically under its content address."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "key": key,
+            "meta": dict(meta or {}),
+            "run": run_to_dict(run),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=1))
+        os.replace(tmp, path)
+        with self._lock:
+            self.stats.stores += 1
+        obs.inc("service.cache.stores")
+        return path
+
+    def _miss(self, key: str) -> None:
+        with self._lock:
+            self.stats.misses += 1
+        obs.inc("service.cache.misses")
+
+    # ------------------------------------------------------------------
+    def keys(self) -> list[str]:
+        """Every key currently stored on disk."""
+        return sorted(
+            entry.stem
+            for shard in self.cache_dir.iterdir() if shard.is_dir()
+            for entry in shard.glob("*.json")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()

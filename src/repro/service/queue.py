@@ -1,0 +1,117 @@
+"""Bounded, thread-safe priority queue for mining jobs.
+
+The queue is the service's backpressure point: depth is bounded, and a
+producer that outruns the workers either blocks (optionally with a
+timeout) or gets an immediate :class:`QueueFull` — the in-process
+analogue of a 429.  Lower ``priority`` numbers are served first; ties
+are FIFO via a monotonic sequence number so equal-priority jobs never
+starve each other.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Optional
+
+from repro import obs
+
+
+class QueueFull(RuntimeError):
+    """The queue is at capacity and the caller declined to wait."""
+
+
+class QueueClosed(RuntimeError):
+    """The queue was closed and drained; no more items will arrive."""
+
+
+class JobQueue:
+    """Heap-backed priority queue with bounded depth and clean shutdown."""
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._heap: list[tuple[int, int, object]] = []
+        self._seq = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self.max_depth_seen = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        item: object,
+        priority: int = 0,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Enqueue ``item``; apply backpressure when at capacity."""
+        with self._not_full:
+            if self._closed:
+                raise QueueClosed("cannot enqueue on a closed queue")
+            if len(self._heap) >= self.maxsize:
+                if not block:
+                    obs.inc("service.queue.rejected")
+                    raise QueueFull(
+                        f"queue at capacity ({self.maxsize} jobs)"
+                    )
+                deadline_ok = self._not_full.wait_for(
+                    lambda: self._closed or len(self._heap) < self.maxsize,
+                    timeout=timeout,
+                )
+                if self._closed:
+                    raise QueueClosed("queue closed while waiting for space")
+                if not deadline_ok:
+                    obs.inc("service.queue.rejected")
+                    raise QueueFull(
+                        f"queue stayed at capacity ({self.maxsize} jobs) "
+                        f"for {timeout}s"
+                    )
+            self._seq += 1
+            heapq.heappush(self._heap, (priority, self._seq, item))
+            depth = len(self._heap)
+            self.max_depth_seen = max(self.max_depth_seen, depth)
+            obs.set_gauge("service.queue.depth", depth)
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> object:
+        """Dequeue the highest-priority item, blocking until one exists.
+
+        Raises :class:`QueueClosed` once the queue is closed *and* empty
+        — the worker-pool shutdown signal.
+        """
+        with self._not_empty:
+            ready = self._not_empty.wait_for(
+                lambda: self._closed or self._heap, timeout=timeout
+            )
+            if self._heap:
+                _priority, _seq, item = heapq.heappop(self._heap)
+                obs.set_gauge("service.queue.depth", len(self._heap))
+                self._not_full.notify()
+                return item
+            if self._closed:
+                raise QueueClosed("queue closed and drained")
+            if not ready:
+                raise TimeoutError(f"no job arrived within {timeout}s")
+            raise QueueClosed("queue closed and drained")  # pragma: no cover
+
+    def close(self) -> None:
+        """Stop accepting items; pending items can still be drained."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

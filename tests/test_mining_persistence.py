@@ -3,8 +3,10 @@
 import pytest
 
 from repro.mining import (
+    FORMAT_VERSION,
     PipelineContext,
     SlidingWindowPipeline,
+    UnsupportedFormatError,
     load_runs,
     rule_from_dict,
     rule_to_dict,
@@ -75,6 +77,36 @@ class TestRunRoundTrip:
         path.write_text('{"format_version": 99, "runs": []}')
         with pytest.raises(ValueError):
             load_runs(path)
+
+
+class TestFormatVersionGuard:
+    def test_newer_run_rejected_before_deserialization(self):
+        # deliberately malformed body: a clear version error must win
+        # over the KeyError a field-by-field load would hit
+        payload = {"format_version": FORMAT_VERSION + 1, "garbage": True}
+        with pytest.raises(UnsupportedFormatError, match="upgrade"):
+            run_from_dict(payload)
+
+    def test_newer_archive_rejected_with_upgrade_hint(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            '{"format_version": %d, "runs": [{"nonsense": 1}]}'
+            % (FORMAT_VERSION + 1)
+        )
+        with pytest.raises(UnsupportedFormatError, match="upgrade"):
+            load_runs(path)
+
+    def test_non_integer_version_rejected(self):
+        with pytest.raises(UnsupportedFormatError, match="non-integer"):
+            run_from_dict({"format_version": "2.0"})
+
+    def test_other_unsupported_version_rejected(self):
+        with pytest.raises(UnsupportedFormatError, match="unsupported"):
+            run_from_dict({"format_version": 0})
+
+    def test_guard_is_a_value_error(self):
+        # callers catching the old ValueError keep working
+        assert issubclass(UnsupportedFormatError, ValueError)
 
     def test_restored_metric_queries_still_execute(self, run,
                                                    cyber_dataset):

@@ -1,0 +1,284 @@
+"""End-to-end tests for MiningService: dedup, disk-cache reuse across a
+process-simulating reload, config-hash invalidation, transient-failure
+retry, cancellation and backpressure."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.datasets.base import Dataset, DirtReport
+from repro.graph import PropertyGraph
+from repro.llm.faults import TransientFaultInjector
+from repro.service import (
+    JobFailedError,
+    JobState,
+    MiningService,
+    QueueFull,
+    RetryPolicy,
+    UnknownJobError,
+)
+
+#: retry instantly — backoff schedules are unit-tested separately
+FAST_RETRY = RetryPolicy(max_retries=3, base_delay=0.0)
+
+
+@pytest.fixture(autouse=True)
+def clean_collector():
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+def build_dataset(name: str) -> Dataset:
+    graph = PropertyGraph(name)
+    for index in range(8):
+        graph.add_node(f"u{index}", "User", {
+            "id": index, "screen_name": f"@user{index}",
+        })
+        graph.add_node(f"t{index}", "Tweet", {
+            "id": 100 + index, "text": f"tweet {index}",
+            "created_at": f"2021-03-{index + 1:02d}T09:00:00",
+        })
+        graph.add_edge(f"p{index}", "POSTS", f"u{index}", f"t{index}")
+    return Dataset(graph=graph, true_rules=[], dirt=DirtReport())
+
+
+@pytest.fixture()
+def loader():
+    cache: dict[str, Dataset] = {}
+
+    def load(name: str) -> Dataset:
+        if name not in cache:
+            cache[name] = build_dataset(name)
+        return cache[name]
+
+    return load
+
+
+def service(loader, **kwargs) -> MiningService:
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("retry_policy", FAST_RETRY)
+    kwargs.setdefault("sleep", lambda seconds: None)
+    return MiningService(loader=loader, **kwargs)
+
+
+class GateMiddleware:
+    """Blocks every LLM completion until released — pins a worker so
+    queued jobs can be observed and cancelled deterministically."""
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+    def __call__(self, llm):
+        outer = self
+
+        class Gated:
+            def complete(self, prompt):
+                outer.entered.set()
+                assert outer.release.wait(timeout=30)
+                return llm.complete(prompt)
+
+            def __getattr__(self, name):
+                return getattr(llm, name)
+
+        return Gated()
+
+
+# ----------------------------------------------------------------------
+# dedup + caching
+# ----------------------------------------------------------------------
+class TestSubmission:
+    def test_duplicate_submit_is_one_job(self, loader, tmp_path):
+        with service(loader, cache_dir=tmp_path) as svc:
+            first = svc.submit("tiny", "llama3", "rag", "zero_shot")
+            second = svc.submit("tiny", "llama3", "rag", "zero_shot")
+            assert first == second
+            run = svc.result(first, timeout=60)
+            assert run.rule_count >= 0
+        stats = svc.stats()
+        assert stats["submitted"] == 1
+        assert stats["attempts"] == 1             # exactly one mining run
+
+    def test_unknown_method_and_prompt_rejected(self, loader):
+        svc = service(loader)
+        with pytest.raises(ValueError):
+            svc.submit("tiny", "llama3", "nope", "zero_shot")
+        with pytest.raises(ValueError):
+            svc.submit("tiny", "llama3", "rag", "nope")
+        svc.shutdown()
+
+    def test_unknown_job_id(self, loader):
+        svc = service(loader)
+        with pytest.raises(UnknownJobError):
+            svc.status("deadbeef")
+        svc.shutdown()
+
+    def test_result_timeout(self, loader):
+        gate = GateMiddleware()
+        with service(loader, workers=1, llm_middleware=gate) as svc:
+            job_id = svc.submit("tiny", "llama3", "rag", "zero_shot")
+            with pytest.raises(TimeoutError):
+                svc.result(job_id, timeout=0.05)
+            gate.release.set()
+            svc.result(job_id, timeout=60)
+
+
+class TestDiskCache:
+    def test_second_service_answers_from_cache(self, loader, tmp_path):
+        with service(loader, cache_dir=tmp_path) as first:
+            job_id = first.submit("tiny", "llama3", "rag", "zero_shot")
+            original = first.result(job_id, timeout=60)
+        assert first.stats()["cache"]["stores"] == 1
+
+        collector = obs.install()
+        with service(loader, cache_dir=tmp_path) as second:
+            again = second.submit("tiny", "llama3", "rag", "zero_shot")
+            assert again == job_id
+            status = second.status(again)
+            assert status["cache_hit"] is True
+            assert status["state"] == "done"
+            assert status["attempts"] == 0        # nothing re-mined
+            rerun = second.result(again)
+        assert rerun.key() == original.key()
+        assert rerun.rule_count == original.rule_count
+        hits = collector.metrics.counter("service.cache.hits")
+        assert hits.total() == 1
+        # no mining span was opened on the cache-served pass
+        names = {item.name for item in collector.iter_spans()}
+        assert "mine.rag" not in names
+
+    def test_config_change_re_mines(self, loader, tmp_path):
+        with service(loader, cache_dir=tmp_path) as first:
+            job_id = first.submit("tiny", "llama3", "rag", "zero_shot")
+            first.result(job_id, timeout=60)
+        with service(loader, cache_dir=tmp_path) as second:
+            tweaked = second.submit(
+                "tiny", "llama3", "rag", "zero_shot", rag_top_k=4,
+            )
+            assert tweaked != job_id
+            second.result(tweaked, timeout=60)
+            assert second.status(tweaked)["cache_hit"] is False
+            assert second.status(tweaked)["attempts"] == 1
+
+
+# ----------------------------------------------------------------------
+# retry/backoff against injected transient failures
+# ----------------------------------------------------------------------
+class TestTransientFailures:
+    def test_transient_failures_retried_until_done(self, loader):
+        injector = TransientFaultInjector(failures=2)
+        sleeps: list[float] = []
+        collector = obs.install()
+        svc = MiningService(
+            loader=loader, workers=1, llm_middleware=injector,
+            retry_policy=RetryPolicy(max_retries=3, base_delay=0.25),
+            sleep=sleeps.append,
+        )
+        with svc:
+            job_id = svc.submit("tiny", "mixtral", "rag", "zero_shot")
+            run = svc.result(job_id, timeout=60)
+        status = svc.status(job_id)
+        assert status["state"] == "done"
+        assert status["attempts"] == 3            # 2 failures + 1 success
+        assert status["retries"] == 2
+        assert injector.injected == 2
+        assert sleeps == [0.25, 0.5]              # exponential backoff
+        assert run.rule_count >= 0
+        retries = collector.metrics.counter("service.retries")
+        assert retries.total() == 2
+
+    def test_exhausted_retries_fail_the_job(self, loader):
+        injector = TransientFaultInjector(failures=100)
+        svc = service(
+            loader, workers=1, llm_middleware=injector,
+            retry_policy=RetryPolicy(max_retries=2, base_delay=0.0),
+        )
+        with svc:
+            job_id = svc.submit("tiny", "llama3", "rag", "zero_shot")
+            with pytest.raises(JobFailedError):
+                svc.result(job_id, timeout=60)
+        status = svc.status(job_id)
+        assert status["state"] == "failed"
+        assert "RetriesExhausted" in status["error"]
+        assert svc.stats()["jobs"]["failed"] == 1
+
+
+# ----------------------------------------------------------------------
+# cancellation + backpressure
+# ----------------------------------------------------------------------
+class TestCancelAndBackpressure:
+    def test_cancel_queued_job(self, loader):
+        gate = GateMiddleware()
+        with service(loader, workers=1, llm_middleware=gate) as svc:
+            running = svc.submit("tiny", "llama3", "rag", "zero_shot")
+            assert gate.entered.wait(timeout=30)  # worker is pinned
+            queued = svc.submit("tiny", "mixtral", "rag", "zero_shot")
+            assert svc.cancel(queued) is True
+            assert svc.cancel(running) is False   # already running
+            gate.release.set()
+            svc.result(running, timeout=60)
+            with pytest.raises(JobFailedError):
+                svc.result(queued, timeout=60)
+        assert svc.status(queued)["state"] == JobState.CANCELLED.value
+        assert svc.stats()["jobs"]["cancelled"] == 1
+
+    def test_full_queue_rejects_and_forgets_job(self, loader):
+        gate = GateMiddleware()
+        with service(
+            loader, workers=1, queue_depth=1, llm_middleware=gate,
+        ) as svc:
+            svc.submit("tiny", "llama3", "rag", "zero_shot")
+            assert gate.entered.wait(timeout=30)
+            svc.submit("tiny", "mixtral", "rag", "zero_shot")  # fills queue
+            with pytest.raises(QueueFull):
+                svc.submit(
+                    "tiny", "llama3", "rag", "few_shot", block=False,
+                )
+            # the refused job left no trace in the job table
+            assert svc.stats()["submitted"] == 2
+            gate.release.set()
+        assert svc.stats()["jobs"]["failed"] == 0
+        assert svc.stats()["jobs"]["done"] == 2
+
+
+# ----------------------------------------------------------------------
+# the acceptance scenario: a grid slice through the service, twice
+# ----------------------------------------------------------------------
+class TestGridSliceTwice:
+    def test_second_pass_is_all_cache_hits(self, loader, tmp_path):
+        grid = dict(
+            datasets=["tiny"], methods=["rag", "sliding_window"],
+            prompt_modes=["zero_shot"],
+        )
+        with service(loader, cache_dir=tmp_path, workers=2) as first:
+            ids = first.submit_grid(**grid)
+            assert len(ids) == 4                  # 2 methods × 2 models
+            originals = {
+                job_id: first.result(job_id, timeout=120) for job_id in ids
+            }
+        assert first.stats()["cache"]["stores"] == 4
+
+        collector = obs.install()
+        with service(loader, cache_dir=tmp_path, workers=2) as second:
+            replay = second.submit_grid(**grid)
+            assert replay == ids
+            for job_id in replay:
+                status = second.status(job_id)
+                assert status["cache_hit"] is True
+                assert status["attempts"] == 0
+                rerun = second.result(job_id)
+                assert rerun.key() == originals[job_id].key()
+                assert rerun.rule_count == originals[job_id].rule_count
+        stats = second.stats()
+        assert stats["cache_hits"] == 4
+        assert stats["attempts"] == 0             # nothing re-mined
+        hits = collector.metrics.counter("service.cache.hits")
+        assert hits.total() == 4
+        names = {item.name for item in collector.iter_spans()}
+        assert "mine.rag" not in names
+        assert "mine.sliding_window" not in names
