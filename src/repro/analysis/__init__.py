@@ -1,0 +1,61 @@
+"""Semantic static analysis for mined Cypher rules.
+
+Extends the schema-level :mod:`repro.cypher.linter` (the paper's §3.2
+triage, automated) with the defects only dataflow, type and
+satisfiability reasoning can see::
+
+    from repro.analysis import StaticAnalyzer
+
+    analyzer = StaticAnalyzer(schema)
+    report = analyzer.analyze("MATCH (a:Paper) WHERE a.year > 5 "
+                              "AND a.year < 3 RETURN a")
+    report.verdict          # Verdict.UNSAT — never worth executing
+    report.signature        # canonical signature for dedup
+
+Layering: :mod:`repro.analysis` sits above :mod:`repro.graph` and
+:mod:`repro.cypher` and below :mod:`repro.rules`,
+:mod:`repro.correction` and :mod:`repro.mining`
+(see ``tools/check_layers.py``).
+"""
+
+from repro.analysis.analyzer import (
+    RuleTriage,
+    StaticAnalyzer,
+    analyze_query,
+)
+from repro.analysis.canonical import (
+    canonical_form,
+    canonical_renaming,
+    canonical_signature,
+)
+from repro.analysis.dataflow import (
+    VariableTable,
+    VarInfo,
+    analyze_query_dataflow,
+)
+from repro.analysis.findings import (
+    AnalysisReport,
+    Finding,
+    Verdict,
+    worst,
+)
+from repro.analysis.satisfiability import analyze_satisfiability
+from repro.analysis.typecheck import analyze_types
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "RuleTriage",
+    "StaticAnalyzer",
+    "VarInfo",
+    "VariableTable",
+    "Verdict",
+    "analyze_query",
+    "analyze_query_dataflow",
+    "analyze_satisfiability",
+    "analyze_types",
+    "canonical_form",
+    "canonical_renaming",
+    "canonical_signature",
+    "worst",
+]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.analysis import AnalysisReport, StaticAnalyzer
 from repro.cypher.linter import ErrorCategory, Linter, LintReport
 from repro.graph.schema import GraphSchema
 
@@ -24,10 +25,21 @@ class Classification:
     is_correct: bool
     primary_category: Optional[ErrorCategory]
     report: LintReport
+    #: semantic analysis, when the classifier was built with an analyzer
+    analysis: Optional[AnalysisReport] = None
 
     @property
     def category_name(self) -> Optional[str]:
         return self.primary_category.value if self.primary_category else None
+
+    @property
+    def semantic_signature(self) -> Optional[str]:
+        """Canonical signature: equal for alpha-renamed duplicates."""
+        return self.analysis.signature if self.analysis else None
+
+    @property
+    def semantic_verdict(self) -> Optional[str]:
+        return self.analysis.verdict.value if self.analysis else None
 
 
 _PRIORITY = (
@@ -38,17 +50,32 @@ _PRIORITY = (
 
 
 class QueryClassifier:
-    """Applies the §4.4 criteria against an inferred schema."""
+    """Applies the §4.4 criteria against an inferred schema.
 
-    def __init__(self, schema: GraphSchema) -> None:
+    When built with a :class:`~repro.analysis.StaticAnalyzer`, every
+    classification also carries the query's semantic analysis — its
+    verdict and the canonical signature used to spot alpha-renamed
+    duplicates among generated queries.
+    """
+
+    def __init__(
+        self,
+        schema: GraphSchema,
+        analyzer: Optional[StaticAnalyzer] = None,
+    ) -> None:
         self._linter = Linter(schema)
+        self._analyzer = analyzer
 
     def classify(self, query_text: str) -> Classification:
         report = self._linter.lint(query_text)
+        analysis = (
+            self._analyzer.analyze(query_text)
+            if self._analyzer is not None else None
+        )
         if report.is_correct:
             return Classification(
                 query=query_text, is_correct=True,
-                primary_category=None, report=report,
+                primary_category=None, report=report, analysis=analysis,
             )
         categories = report.categories()
         primary = next(
@@ -57,5 +84,5 @@ class QueryClassifier:
         )
         return Classification(
             query=query_text, is_correct=False,
-            primary_category=primary, report=report,
+            primary_category=primary, report=report, analysis=analysis,
         )

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.analysis import StaticAnalyzer
 from repro.correction.classifier import Classification, QueryClassifier
 from repro.cypher.linter import ErrorCategory
 from repro.graph.schema import GraphSchema
@@ -48,7 +49,8 @@ class QueryCorrector:
 
     def __init__(self, schema: GraphSchema) -> None:
         self.schema = schema
-        self.classifier = QueryClassifier(schema)
+        self.analyzer = StaticAnalyzer(schema)
+        self.classifier = QueryClassifier(schema, analyzer=self.analyzer)
         self.translator = RuleTranslator(schema)
 
     def correct(

@@ -7,7 +7,7 @@ dataclasses so ASTs can be hashed, compared and cached safely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 

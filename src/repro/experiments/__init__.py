@@ -7,6 +7,7 @@ from repro.experiments import (
     table1,
     table5,
     table6,
+    triage,
 )
 from repro.experiments.report import Table, fmt_float, fmt_int
 
@@ -20,4 +21,5 @@ __all__ = [
     "table1",
     "table5",
     "table6",
+    "triage",
 ]

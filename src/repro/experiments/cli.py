@@ -6,6 +6,7 @@ Usage::
     repro-experiments table1        # one table
     repro-experiments table3 --seed 7
     repro-experiments figures       # pipeline trace + §4.5 counts
+    repro-experiments analyze       # static-analysis triage report
     repro-experiments table5 --obs  # plus observability summary
     repro-experiments table5 --trace-out trace.jsonl
 
@@ -28,6 +29,7 @@ from repro.experiments import (
     table1,
     table5,
     table6,
+    triage,
 )
 from repro.llm.profiles import MODEL_NAMES
 from repro.mining.pipeline import PROMPT_MODES
@@ -35,7 +37,7 @@ from repro.mining.runner import METHODS, ExperimentRunner
 
 TARGETS = (
     "table1", "table2", "table3", "table4", "table5", "table6",
-    "figures", "extensions", "all",
+    "figures", "extensions", "analyze", "all",
 )
 
 _DATASET_FOR_TABLE = {
@@ -67,6 +69,11 @@ def emit(target: str, runner: ExperimentRunner) -> str:
         ))
     if target == "extensions":
         return extensions.build(runner).render()
+    if target == "analyze":
+        return "\n\n".join((
+            triage.build(runner).render(),
+            triage.finding_census(runner).render(),
+        ))
     raise ValueError(f"unknown target {target!r}")
 
 

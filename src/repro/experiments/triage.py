@@ -1,0 +1,72 @@
+"""Static-analysis triage report: analyzer verdicts across the grid.
+
+The companion to Table 6: where the paper's census counts *schema-level*
+errors (direction, hallucination, syntax), this report counts the
+*semantic* verdicts of :mod:`repro.analysis` over every final query in
+the grid, plus how many rules were triaged out before execution.
+Exposed as ``repro-experiments analyze``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Verdict
+from repro.datasets.registry import DATASET_NAMES
+from repro.datasets.registry import DISPLAY_NAMES as DATASET_DISPLAY
+from repro.experiments.report import Table
+from repro.mining.runner import ExperimentRunner
+
+#: column order follows escalating severity
+_VERDICT_COLUMNS = (
+    Verdict.OK, Verdict.WARN, Verdict.TRIVIAL, Verdict.UNSAT, Verdict.ERROR,
+)
+
+
+def build(runner: ExperimentRunner) -> Table:
+    """Per-dataset verdict counts and triage savings."""
+    table = Table(
+        title="Static analysis: analyzer verdicts per dataset",
+        headers=[
+            "Dataset",
+            *[verdict.value for verdict in _VERDICT_COLUMNS],
+            "triaged out", "queries",
+        ],
+    )
+    for dataset in DATASET_NAMES:
+        census: dict[str, int] = {}
+        triaged = 0
+        queries = 0
+        for run in runner.run_dataset(dataset):
+            for verdict, count in run.triage_census().items():
+                census[verdict] = census.get(verdict, 0) + count
+            triaged += run.triaged_out
+            queries += run.generated_queries
+        table.add_row(
+            DATASET_DISPLAY[dataset],
+            *[census.get(v.value, 0) for v in _VERDICT_COLUMNS],
+            triaged, queries,
+        )
+    return table
+
+
+def finding_census(runner: ExperimentRunner) -> Table:
+    """Counts of individual finding codes across the whole grid."""
+    table = Table(
+        title="Static analysis: finding codes across the grid",
+        headers=["Pass", "Code", "Count"],
+    )
+    totals: dict[tuple[str, str], int] = {}
+    for dataset in DATASET_NAMES:
+        for run in runner.run_dataset(dataset):
+            for result in run.results:
+                if result.analysis is None:
+                    continue
+                for finding in result.analysis.findings:
+                    key = (finding.pass_name, finding.code)
+                    totals[key] = totals.get(key, 0) + 1
+    for (pass_name, code), count in sorted(
+        totals.items(), key=lambda item: (-item[1], item[0])
+    ):
+        table.add_row(pass_name, code, count)
+    if not totals:
+        table.add_row("-", "no findings", 0)
+    return table

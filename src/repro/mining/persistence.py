@@ -16,6 +16,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.analysis import AnalysisReport
 from repro.correction.corrector import CorrectionOutcome
 from repro.cypher.linter import ErrorCategory, LintIssue, LintReport
 from repro.correction.classifier import Classification
@@ -146,6 +147,11 @@ def run_to_dict(run: MiningRun) -> dict[str, Any]:
                     "relevant": result.metrics.relevant,
                     "body": result.metrics.body,
                 },
+                "analysis": (
+                    result.analysis.to_dict()
+                    if result.analysis is not None else None
+                ),
+                "triage_skipped": result.triage_skipped,
             }
             for result in run.results
         ],
@@ -213,9 +219,16 @@ def run_from_dict(payload: dict[str, Any]) -> MiningRun:
             relevant=record["metrics"]["relevant"],
             body=record["metrics"]["body"],
         )
-        run.results.append(
-            RuleResult(rule=rule, outcome=outcome, metrics=metrics)
+        analysis_payload = record.get("analysis")
+        analysis = (
+            AnalysisReport.from_dict(record["final_query"], analysis_payload)
+            if analysis_payload is not None else None
         )
+        run.results.append(RuleResult(
+            rule=rule, outcome=outcome, metrics=metrics,
+            analysis=analysis,
+            triage_skipped=record.get("triage_skipped", False),
+        ))
     return run
 
 

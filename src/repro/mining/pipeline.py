@@ -26,7 +26,7 @@ from repro.metrics.definitions import RuleMetrics
 from repro.metrics.evaluator import evaluate_rule
 from repro.mining.result import MiningRun, RuleResult
 from repro.prompts.templates import cypher_prompt
-from repro.rules.dedup import merge_property_exists
+from repro.rules.dedup import deduplicate, merge_property_exists
 from repro.rules.model import ConsistencyRule, RuleKind
 from repro.rules.nl import parse_rule_list
 
@@ -222,6 +222,9 @@ class BasePipeline:
         self.context = context
         self.base_seed = base_seed
         self.corrector = QueryCorrector(context.schema)
+        #: shared semantic analyzer (also used by the corrector's
+        #: classifier); set to None to disable pre-execution triage
+        self.analyzer = self.corrector.analyzer
         #: optional wrapper applied to every LLM this pipeline creates —
         #: the service layer uses it to inject transient-failure faults
         #: (and a real deployment could use it for rate limiting or
@@ -268,6 +271,23 @@ class BasePipeline:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    def semantic_dedup(
+        self, rules: list[ConsistencyRule]
+    ) -> list[ConsistencyRule]:
+        """Collapse alpha-renamed / orientation-flipped duplicates.
+
+        ``combine_and_cap`` dedups by field signature, which treats the
+        same constraint written with swapped endpoint order as two rules;
+        the analyzer's canonical form catches those before the Cypher
+        step pays for both.
+        """
+        kept = deduplicate(rules, schema=self.context.schema)
+        collapsed = len(rules) - len(kept)
+        if collapsed:
+            obs.inc("analysis.semantic_duplicates", collapsed)
+        return kept
+
+    # ------------------------------------------------------------------
     def translate_and_score(
         self,
         run: MiningRun,
@@ -282,19 +302,47 @@ class BasePipeline:
                 completion = llm.complete(prompt)
                 outcome = self.corrector.correct(rule, completion.text)
                 sp.set_attribute("corrected", outcome.corrected)
-                if outcome.metric_queries is not None:
+                analysis, skipped = self._triage(outcome)
+                sp.set_attribute(
+                    "verdict",
+                    analysis.verdict.value if analysis else None,
+                )
+                if outcome.metric_queries is not None and not skipped:
                     metrics = evaluate_rule(
                         self.context.graph, outcome.metric_queries
                     )
                 else:
                     metrics = RuleMetrics(support=0, relevant=0, body=0)
-                run.results.append(
-                    RuleResult(rule=rule, outcome=outcome, metrics=metrics)
-                )
+                run.results.append(RuleResult(
+                    rule=rule, outcome=outcome, metrics=metrics,
+                    analysis=analysis, triage_skipped=skipped,
+                ))
         run.cypher_seconds = llm.clock.elapsed_seconds - clock_before
         run.llm_calls = llm.clock.calls
         run.prompt_tokens = llm.clock.prompt_tokens
         run.completion_tokens = llm.clock.completion_tokens
+
+    def _triage(self, outcome) -> tuple:
+        """Statically analyze one corrected query before execution.
+
+        Returns ``(analysis_report, skip_evaluation)``.  Evaluation is
+        skipped only when the rule's *satisfy* query is provably unable
+        to produce a row (UNSAT) or unable to run at all (parse error):
+        support is then certainly 0, and the rule scores zero across the
+        board — the same convention untranslatable rules already get.
+        """
+        if self.analyzer is None:
+            return None, False
+        analysis = self.analyzer.analyze(outcome.final_query)
+        obs.inc(f"analysis.verdict.{analysis.verdict.value}")
+        obs.observe("analysis.findings", len(analysis.findings))
+        skipped = False
+        if outcome.metric_queries is not None:
+            triage = self.analyzer.triage(outcome.metric_queries.satisfy)
+            if not triage.should_evaluate:
+                skipped = True
+                obs.inc("analysis.triaged_out")
+        return analysis, skipped
 
     @staticmethod
     def parse_completion(

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.analysis.findings import AnalysisReport
 from repro.correction.corrector import CorrectionOutcome
 from repro.metrics.definitions import AggregateMetrics, RuleMetrics, aggregate
 from repro.rules.model import ConsistencyRule
@@ -16,6 +18,10 @@ class RuleResult:
     rule: ConsistencyRule
     outcome: CorrectionOutcome
     metrics: RuleMetrics
+    #: static analysis of the final query (None for pre-analyzer archives)
+    analysis: Optional[AnalysisReport] = None
+    #: metric evaluation was skipped because the bundle is statically doomed
+    triage_skipped: bool = False
 
 
 @dataclass
@@ -70,6 +76,22 @@ class MiningRun:
             category = result.outcome.classification.category_name
             if category is not None:
                 census[category] = census.get(category, 0) + 1
+        return census
+
+    # static analysis ------------------------------------------------
+    @property
+    def triaged_out(self) -> int:
+        """Rules whose metric evaluation was statically skipped."""
+        return sum(1 for result in self.results if result.triage_skipped)
+
+    def triage_census(self) -> dict[str, int]:
+        """Count of analyzer verdicts across the run's final queries."""
+        census: dict[str, int] = {}
+        for result in self.results:
+            if result.analysis is None:
+                continue
+            verdict = result.analysis.verdict.value
+            census[verdict] = census.get(verdict, 0) + 1
         return census
 
     def key(self) -> tuple[str, str, str, str]:

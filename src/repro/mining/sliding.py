@@ -95,7 +95,9 @@ class SlidingWindowPipeline(BasePipeline):
                 prompt_mode,
                 self.run_rng(llm.name, prompt_mode),
             )
-            self.translate_and_score(run, combined.rules, llm)
+            self.translate_and_score(
+                run, self.semantic_dedup(combined.rules), llm
+            )
             mine_span.set_attribute("rules", run.rule_count)
             mine_span.add_sim_time(clock.elapsed_seconds)
         return run

@@ -11,16 +11,57 @@ when requested (the paper's example rule covers *date and stage* at once).
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Optional
 
+from repro.analysis import StaticAnalyzer
+from repro.graph.schema import GraphSchema
 from repro.rules.model import ConsistencyRule, RuleKind, RuleSet
 from repro.rules.nl import to_natural_language
+from repro.rules.translator import RuleTranslator, UntranslatableRuleError
 
 
-def deduplicate(rules: list[ConsistencyRule]) -> list[ConsistencyRule]:
-    """Drop rules whose signature repeats; first occurrence wins."""
+def deduplicate(
+    rules: list[ConsistencyRule],
+    schema: Optional[GraphSchema] = None,
+) -> list[ConsistencyRule]:
+    """Drop duplicate rules; first occurrence wins.
+
+    The field signature catches verbatim repeats but counted
+    alpha-renamed / endpoint-permuted rules as distinct — e.g. the same
+    edge constraint mined from two windows with the src/dst labels
+    written in opposite orders.  When a ``schema`` is provided, each
+    rule is additionally keyed by the analyzer's canonical form of its
+    translated check query, which erases variable naming and edge
+    orientation; rules the translator cannot handle fall back to the
+    field signature alone.
+    """
+    semantic_keys: set[str] = set()
+    translator = RuleTranslator(schema) if schema is not None else None
+    analyzer = StaticAnalyzer(schema) if schema is not None else None
     ruleset = RuleSet()
-    ruleset.extend(rules)
-    return list(ruleset)
+    output: list[ConsistencyRule] = []
+    for rule in rules:
+        if not ruleset.add(rule):
+            continue
+        if translator is not None:
+            key = _semantic_key(rule, translator, analyzer)
+            if key is not None:
+                if key in semantic_keys:
+                    continue
+                semantic_keys.add(key)
+        output.append(rule)
+    return output
+
+
+def _semantic_key(
+    rule: ConsistencyRule, translator: RuleTranslator, analyzer
+) -> Optional[str]:
+    """Canonical signature of the rule's check query, None when unknown."""
+    try:
+        queries = translator.translate(rule)
+    except UntranslatableRuleError:
+        return None
+    return analyzer.signature(queries.check)
 
 
 def merge_property_exists(
@@ -76,10 +117,11 @@ def merge_property_exists(
 def combine_window_rules(
     per_window: list[list[ConsistencyRule]],
     merge_existence: bool = True,
+    schema: Optional[GraphSchema] = None,
 ) -> list[ConsistencyRule]:
     """The §3.1.1 combination step: concatenate, dedup, optionally merge."""
     flat = [rule for window in per_window for rule in window]
-    unique = deduplicate(flat)
+    unique = deduplicate(flat, schema=schema)
     if merge_existence:
         unique = merge_property_exists(unique)
     return unique

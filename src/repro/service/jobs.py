@@ -112,6 +112,12 @@ def graph_fingerprint(graph: PropertyGraph) -> str:
 #: modules whose source determines a mining run's output — any change to
 #: them must invalidate cached results
 _CODE_FINGERPRINT_MODULES = (
+    "repro.analysis.analyzer",
+    "repro.analysis.canonical",
+    "repro.analysis.dataflow",
+    "repro.analysis.findings",
+    "repro.analysis.satisfiability",
+    "repro.analysis.typecheck",
     "repro.encoding.incident",
     "repro.encoding.windows",
     "repro.llm.faults",
@@ -123,6 +129,7 @@ _CODE_FINGERPRINT_MODULES = (
     "repro.mining.ragpipe",
     "repro.mining.sliding",
     "repro.rag.retriever",
+    "repro.rules.dedup",
     "repro.rules.nl",
     "repro.rules.translator",
 )

@@ -6,7 +6,9 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cypher import CypherSyntaxError, parse, render_query, tokenize
+from repro.analysis import StaticAnalyzer, Verdict, canonical_signature
+from repro.cypher import CypherSyntaxError, execute, parse, render_query, tokenize
+from repro.cypher.tokens import KEYWORDS
 from repro.cypher.executor import _canonical, _sort_key
 from repro.encoding import (
     SlidingWindowChunker,
@@ -30,15 +32,7 @@ from repro.rules import (
 # ----------------------------------------------------------------------
 identifiers = st.text(
     alphabet=string.ascii_letters, min_size=1, max_size=12
-).filter(lambda s: s.upper() not in {
-    # avoid reserved words that change parse behaviour
-    "MATCH", "WHERE", "WITH", "RETURN", "AS", "AND", "OR", "XOR", "NOT",
-    "IN", "IS", "NULL", "TRUE", "FALSE", "DISTINCT", "ORDER", "BY",
-    "ASC", "ASCENDING", "DESC", "DESCENDING", "SKIP", "LIMIT", "UNWIND",
-    "STARTS", "ENDS", "CONTAINS", "EXISTS", "CASE", "WHEN", "THEN",
-    "ELSE", "END", "UNION", "ALL", "CREATE", "MERGE", "DELETE", "SET",
-    "REMOVE", "CALL", "YIELD",
-})
+).filter(lambda s: s.upper() not in KEYWORDS)
 
 
 # ----------------------------------------------------------------------
@@ -252,6 +246,103 @@ def graph_builds(draw):
         max_size=20,
     ))
     return node_count, edges
+
+
+# ----------------------------------------------------------------------
+# analyzer soundness: UNSAT verdict ⇒ zero rows on the executor
+# ----------------------------------------------------------------------
+@st.composite
+def property_graphs(draw):
+    """Small graphs with integer/string properties on two labels."""
+    graph = PropertyGraph()
+    node_count = draw(st.integers(min_value=1, max_value=8))
+    for index in range(node_count):
+        label = draw(st.sampled_from(["A", "B"]))
+        graph.add_node(f"n{index}", label, {
+            "x": draw(st.integers(min_value=-10, max_value=10)),
+            "name": draw(st.sampled_from(["p", "q", "r"])),
+        })
+    for number in range(draw(st.integers(min_value=0, max_value=10))):
+        src = draw(st.integers(min_value=0, max_value=node_count - 1))
+        dst = draw(st.integers(min_value=0, max_value=node_count - 1))
+        graph.add_edge(f"e{number}", "R", f"n{src}", f"n{dst}")
+    return graph
+
+
+@st.composite
+def conjunctive_predicates(draw):
+    """Random conjunctions over a.x / a.name — some satisfiable, some not."""
+    comparisons = st.sampled_from(["<", "<=", ">", ">=", "=", "<>"])
+    conjuncts = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        kind = draw(st.sampled_from(["int", "str", "null", "in"]))
+        if kind == "int":
+            op = draw(comparisons)
+            value = draw(st.integers(min_value=-12, max_value=12))
+            conjuncts.append(f"a.x {op} {value}")
+        elif kind == "str":
+            op = draw(st.sampled_from(["=", "<>", "STARTS WITH"]))
+            value = draw(st.sampled_from(["p", "q", "r", "zz"]))
+            conjuncts.append(f"a.name {op} '{value}'")
+        elif kind == "null":
+            form = draw(st.sampled_from(["IS NULL", "IS NOT NULL"]))
+            subject = draw(st.sampled_from(["a.x", "a.name"]))
+            conjuncts.append(f"{subject} {form}")
+        else:
+            values = draw(st.lists(
+                st.integers(min_value=-12, max_value=12),
+                min_size=1, max_size=3,
+            ))
+            rendered = ", ".join(str(v) for v in values)
+            conjuncts.append(f"a.x IN [{rendered}]")
+    return " AND ".join(conjuncts)
+
+
+@given(property_graphs(), conjunctive_predicates())
+@settings(max_examples=120)
+def test_unsat_verdict_implies_zero_rows(graph, predicate):
+    """The triage contract: UNSAT means the executor finds nothing."""
+    query = f"MATCH (a) WHERE {predicate} RETURN a.x AS out"
+    report = StaticAnalyzer().analyze(query)
+    if report.verdict is not Verdict.UNSAT:
+        return
+    assert execute(graph, query).rows == []
+
+
+@given(property_graphs(), conjunctive_predicates())
+@settings(max_examples=60)
+def test_unsat_verdict_implies_zero_count(graph, predicate):
+    """Aggregate form: the satisfy-style count is exactly zero."""
+    query = f"MATCH (a) WHERE {predicate} RETURN count(a) AS c"
+    report = StaticAnalyzer().analyze(query)
+    if report.verdict is not Verdict.UNSAT:
+        return
+    assert execute(graph, query).scalar() == 0
+
+
+@given(st.lists(identifiers, min_size=3, max_size=3, unique=True))
+@settings(max_examples=60)
+def test_canonical_signature_alpha_invariant(names):
+    """Any choice of variable names yields the same semantic signature."""
+    a, r, b = names
+    renamed = parse(
+        f"MATCH ({a}:L)-[{r}:T]->({b}:M) "
+        f"WHERE {a}.x > 3 AND {b}.y = 'v' RETURN count(*) AS c"
+    )
+    baseline = parse(
+        "MATCH (p:L)-[s:T]->(q:M) "
+        "WHERE p.x > 3 AND q.y = 'v' RETURN count(*) AS c"
+    )
+    assert canonical_signature(renamed) == canonical_signature(baseline)
+
+
+@given(simple_queries())
+@settings(max_examples=60)
+def test_canonical_signature_stable_across_render(query_text):
+    """Parse → render → parse must not change the signature."""
+    ast1 = parse(query_text)
+    ast2 = parse(render_query(ast1))
+    assert canonical_signature(ast1) == canonical_signature(ast2)
 
 
 @given(graph_builds())

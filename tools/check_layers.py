@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Repo-wide static gate: import layering plus a lightweight lint pass.
+
+Layering
+--------
+``repro`` is a strict layer cake; a module may import only from its own
+layer or below::
+
+    graph
+      < cypher
+      < analysis
+      < rules
+      < correction, metrics, encoding, llm, prompts, rag, datasets, obs
+      < mining
+      < experiments, service
+
+An upward import (``repro.cypher`` importing ``repro.mining``) couples
+the foundations to their consumers and eventually turns into an import
+cycle; this gate fails the build instead.
+
+Lint
+----
+A small stdlib-``ast`` pass (the container has no ruff/pyflakes) flags
+the defect classes that bite most in review: unused imports, duplicate
+imports, and ``import *``.  When ruff *is* importable (CI installs it),
+it runs afterwards for the full rule set.
+
+Usage::
+
+    python tools/check_layers.py          # gate; exit 1 on violations
+    python tools/check_layers.py --quiet  # only print violations
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+#: package → layer rank; imports must be non-increasing in rank
+LAYERS = {
+    "graph": 0,
+    "cypher": 1,
+    "analysis": 2,
+    "rules": 3,
+    "correction": 4,
+    "metrics": 4,
+    "encoding": 4,
+    "llm": 4,
+    "prompts": 4,
+    "rag": 4,
+    "datasets": 4,
+    "obs": 4,
+    "mining": 5,
+    "experiments": 6,
+    "service": 6,
+}
+
+#: names a module may re-export without "using" them (init conventions)
+_INIT_NAMES = ("__init__.py",)
+
+
+def subpackage_of(module: str) -> str | None:
+    """``repro.cypher.parser`` → ``cypher``; None outside repro."""
+    parts = module.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+def _type_checking_nodes(tree: ast.AST) -> set[int]:
+    """ids of import nodes guarded by ``if TYPE_CHECKING:`` — those
+    exist for string annotations the usage collector cannot see."""
+    guarded: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = (
+            test.id if isinstance(test, ast.Name)
+            else test.attr if isinstance(test, ast.Attribute)
+            else None
+        )
+        if name == "TYPE_CHECKING":
+            for child in ast.walk(node):
+                if isinstance(child, (ast.Import, ast.ImportFrom)):
+                    guarded.add(id(child))
+    return guarded
+
+
+def iter_imports(tree: ast.AST, skip: set[int] = frozenset()):
+    """Yield (node, module_name, bound_name) for every import."""
+    for node in ast.walk(tree):
+        if id(node) in skip:
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                yield node, alias.name, bound
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:      # relative imports stay within a layer
+                continue
+            module = node.module or ""
+            if module == "__future__":
+                continue
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                yield node, module, bound
+
+
+def check_layering(path: Path, tree: ast.AST) -> list[str]:
+    relative = path.relative_to(SRC)
+    module = ".".join(relative.with_suffix("").parts)
+    if module.endswith(".__init__"):
+        module = module[: -len(".__init__")]
+    own = subpackage_of(module + ".x")       # package files rank as their pkg
+    if own is None or own not in LAYERS:
+        return []
+    own_rank = LAYERS[own]
+    violations = []
+    for node, imported, _bound in iter_imports(tree):
+        target = subpackage_of(imported)
+        if target is None or target not in LAYERS:
+            continue
+        if LAYERS[target] > own_rank:
+            violations.append(
+                f"{relative}:{node.lineno}: layering violation: "
+                f"repro.{own} (layer {own_rank}) imports "
+                f"repro.{target} (layer {LAYERS[target]})"
+            )
+    return violations
+
+
+class _UsageCollector(ast.NodeVisitor):
+    """Names loaded anywhere in the module (attribute roots included)."""
+
+    def __init__(self) -> None:
+        self.used: set[str] = set()
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, (ast.Load, ast.Del)):
+            self.used.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        root = node
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name):
+            self.used.add(root.id)
+        self.generic_visit(node)
+
+
+def _declared_all(tree: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(node.value, (ast.List, ast.Tuple)):
+                    for element in node.value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            names.add(element.value)
+    return names
+
+
+def check_lint(path: Path, tree: ast.AST, source: str) -> list[str]:
+    relative = path.relative_to(REPO)
+    problems: list[str] = []
+    is_init = path.name in _INIT_NAMES
+
+    collector = _UsageCollector()
+    collector.visit(tree)
+    exported = _declared_all(tree)
+    used = collector.used | exported
+    guarded = _type_checking_nodes(tree)
+    lines = source.splitlines()
+
+    # duplicate detection only applies at module scope — the same name
+    # imported locally inside two different functions is legitimate
+    top_level: dict[str, int] = {}
+    imports_only = ast.Module(
+        body=[
+            node for node in tree.body
+            if isinstance(node, (ast.Import, ast.ImportFrom))
+        ],
+        type_ignores=[],
+    )
+    for node, imported, bound in iter_imports(imports_only, guarded):
+        key = f"{imported}:{bound}"
+        if key in top_level:
+            problems.append(
+                f"{relative}:{node.lineno}: duplicate import of "
+                f"'{bound}' (first at line {top_level[key]})"
+            )
+        else:
+            top_level[key] = node.lineno
+
+    for node, imported, bound in iter_imports(tree, guarded):
+        if bound == "*":
+            problems.append(
+                f"{relative}:{node.lineno}: wildcard import "
+                f"from {imported}"
+            )
+            continue
+        # __init__.py files exist to re-export; skip unused checks there
+        if is_init:
+            continue
+        if bound not in used and "# noqa" not in lines[node.lineno - 1]:
+            problems.append(
+                f"{relative}:{node.lineno}: unused import '{bound}'"
+            )
+    return problems
+
+
+def run_ruff(paths: list[str], quiet: bool) -> int:
+    """Run ruff when available; 0 when clean or ruff is absent."""
+    try:
+        import ruff  # noqa: F401  (presence probe only)
+    except ImportError:
+        if not quiet:
+            print("ruff not installed; stdlib lint pass only")
+        return 0
+    result = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", *paths],
+        cwd=REPO,
+    )
+    return result.returncode
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print violations"
+    )
+    parser.add_argument(
+        "--no-ruff", action="store_true",
+        help="skip the optional ruff pass even when installed",
+    )
+    args = parser.parse_args(argv)
+
+    problems: list[str] = []
+    checked = 0
+    targets = sorted(SRC.rglob("*.py")) + sorted(
+        (REPO / "tools").glob("*.py")
+    )
+    for path in targets:
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            problems.append(f"{path.relative_to(REPO)}: {error}")
+            continue
+        checked += 1
+        if path.is_relative_to(SRC):
+            problems.extend(check_layering(path, tree))
+        problems.extend(check_lint(path, tree, source))
+
+    for problem in problems:
+        print(problem)
+    status = 0
+    if problems:
+        print(f"\n{len(problems)} violation(s) in {checked} files")
+        status = 1
+    elif not args.quiet:
+        print(f"{checked} files clean (layering + lint)")
+    if not args.no_ruff:
+        status = max(status, run_ruff(["src", "tools"], args.quiet))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
