@@ -1,0 +1,61 @@
+"""Observability overhead: span + counter cost with and without a
+collector installed.
+
+The instrumentation is default-on in every hot path, so the
+no-collector path must stay near-free (one global read per site) and
+the installed path must stay cheap enough that tracing a full grid run
+is viable.  The benchmark times a tight span+counter+histogram loop in
+both modes and prints the per-operation cost; the no-op path is also
+held under a generous absolute ceiling so a regression that puts real
+work on the uninstalled path fails loudly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+
+OPS = 20_000
+
+#: generous per-op ceiling for the uninstalled path — the point is to
+#: catch accidental O(work) on the no-op path, not to race the CPU
+NOOP_CEILING_SECONDS = 20e-6
+
+
+def _workload() -> None:
+    for index in range(OPS):
+        with obs.span("bench.op", index=index) as sp:
+            sp.add_sim_time(0.001)
+            obs.inc("bench.ops")
+            obs.observe("bench.value", 0.25)
+
+
+def _time_workload() -> float:
+    start = time.perf_counter()
+    _workload()
+    return time.perf_counter() - start
+
+
+def test_overhead_uninstalled(benchmark, run_once, capsys):
+    obs.uninstall()
+    elapsed = run_once(benchmark, _time_workload)
+    per_op = elapsed / OPS
+    with capsys.disabled():
+        print(f"\nno-op path: {per_op * 1e9:.0f} ns/op over {OPS} ops")
+    assert per_op < NOOP_CEILING_SECONDS
+
+
+def test_overhead_installed(benchmark, run_once, capsys):
+    collector = obs.install()
+    try:
+        elapsed = run_once(benchmark, _time_workload)
+    finally:
+        obs.uninstall()
+    per_op = elapsed / OPS
+    with capsys.disabled():
+        print(f"\ninstalled path: {per_op * 1e6:.2f} us/op over {OPS} ops")
+    # everything was actually recorded, so the timing is honest
+    assert len(collector.roots) == OPS
+    assert collector.metrics.counter("bench.ops").total() == OPS
+    assert collector.metrics.histogram("bench.value").snapshot().count == OPS

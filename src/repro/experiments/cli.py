@@ -13,6 +13,11 @@ Usage::
     # run a grid slice through the job service (workers + disk cache)
     repro-experiments serve --jobs 4 --cache-dir ~/.repro-cache
     repro-experiments serve --datasets wwc2019 --methods rag --obs
+    repro-experiments serve --telemetry-port 9100   # live /metrics
+
+    # offline trace intelligence + the perf-regression gate
+    repro-experiments profile trace.jsonl --attr rule
+    repro-experiments perf --compare benchmarks/baselines/perf_smoke.json
 """
 
 from __future__ import annotations
@@ -132,11 +137,20 @@ def serve_main(argv: list[str]) -> int:
         "--trace-out", metavar="PATH", default=None,
         help="write the JSONL span/metric trace to PATH (implies --obs)",
     )
+    parser.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="PORT",
+        help=(
+            "serve live telemetry on 127.0.0.1:PORT while the grid "
+            "runs: /metrics (Prometheus), /healthz, /jobs "
+            "(0 = ephemeral port; implies --obs)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     collector = None
-    if args.obs or args.trace_out:
+    if args.obs or args.trace_out or args.telemetry_port is not None:
         collector = obs.install()
+    telemetry = None
     failed = 0
     try:
         service = MiningService(
@@ -145,7 +159,15 @@ def serve_main(argv: list[str]) -> int:
             retry_policy=RetryPolicy(max_retries=args.max_retries),
             base_seed=args.seed,
         )
-        with service:
+        if args.telemetry_port is not None:
+            telemetry = obs.TelemetryServer(
+                registry=collector.metrics,
+                jobs=service.telemetry,
+                port=args.telemetry_port,
+            ).start()
+            print(f"telemetry: {telemetry.url} "
+                  f"(/metrics /healthz /jobs)")
+        with service, obs.span("serve.grid", jobs=args.jobs):
             job_ids = service.submit_grid(
                 datasets=args.datasets, models=args.models,
                 methods=args.methods, prompt_modes=args.prompts,
@@ -196,6 +218,8 @@ def serve_main(argv: list[str]) -> int:
                     return 1
                 print(f"trace written to {args.trace_out}")
     finally:
+        if telemetry is not None:
+            telemetry.stop()
         if collector is not None:
             obs.uninstall()
     return 1 if failed else 0
@@ -206,6 +230,14 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from repro.experiments.profiling import profile_main
+
+        return profile_main(argv[1:])
+    if argv and argv[0] == "perf":
+        from repro.experiments.perf import perf_main
+
+        return perf_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -217,7 +249,8 @@ def main(argv: list[str] | None = None) -> int:
         "targets", nargs="*", default=["all"],
         help=(
             f"what to regenerate: {', '.join(TARGETS)} — or the "
-            "'serve' subcommand (see: repro-experiments serve --help)"
+            "'serve', 'profile' and 'perf' subcommands (see: "
+            "repro-experiments <subcommand> --help)"
         ),
     )
     parser.add_argument(
@@ -270,4 +303,10 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `profile trace.jsonl | head`
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

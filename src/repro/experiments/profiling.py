@@ -1,0 +1,151 @@
+"""``repro-experiments profile`` — offline trace intelligence.
+
+Takes a JSONL trace recorded with ``--trace-out`` and renders the
+profiler views from :mod:`repro.obs.analyze`: the top-N span table
+(sorted by self wall time), the critical path of the heaviest root, and
+LLM cost attribution (``--attr rule|window|dataset|job|stage``).  The
+same run can be exported as a folded-stack flamegraph
+(``--flamegraph``) or a Chrome ``trace_event`` file (``--chrome``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import obs
+
+#: how deep the printed critical path goes; exports are never truncated
+_PATH_LIMIT = 12
+
+
+def _top_table(trace: obs.ParsedTrace, top: int) -> str:
+    stats = sorted(
+        obs.aggregate_names(trace).values(),
+        key=lambda entry: (-entry.self_wall_seconds, entry.name),
+    )
+    rows = [
+        [
+            entry.name,
+            str(entry.count),
+            f"{entry.self_wall_seconds:.4f}",
+            f"{entry.wall_seconds:.4f}",
+            f"{entry.sim_seconds:.2f}",
+            str(entry.tokens),
+        ]
+        for entry in stats[:top]
+    ]
+    lines = [f"top {min(top, len(stats))} spans by self wall time"]
+    lines.extend(obs.render_rows(
+        ["span", "count", "self wall s", "wall s", "sim s", "tokens"],
+        rows,
+    ))
+    if len(stats) > top:
+        lines.append(f"... {len(stats) - top} more span names")
+    return "\n".join(lines)
+
+
+def _critical_path_table(trace: obs.ParsedTrace, metric: str) -> str:
+    # tokens make a fine flamegraph width but not a path metric
+    path_metric = metric if metric in ("wall", "sim") else "wall"
+    root = max(
+        trace.roots,
+        key=lambda span: span.wall_seconds,
+    )
+    path = obs.critical_path(root, metric=path_metric)
+    lines = [f"critical path (by {path_metric}, heaviest root)"]
+    for depth, (span, total) in enumerate(path[:_PATH_LIMIT]):
+        unit = "s"
+        lines.append(
+            f"  {'  ' * depth}{span.name}  {total:.4f}{unit}"
+        )
+    if len(path) > _PATH_LIMIT:
+        lines.append(f"  ... {len(path) - _PATH_LIMIT} deeper spans")
+    return "\n".join(lines)
+
+
+def _attribution_table(trace: obs.ParsedTrace, by: str) -> str:
+    rows = obs.attribute_costs(trace, by=by)
+    table = [
+        [
+            row.key,
+            str(row.calls),
+            str(row.prompt_tokens),
+            str(row.completion_tokens),
+            str(row.tokens),
+            f"{row.sim_seconds:.2f}",
+        ]
+        for row in rows
+    ]
+    total_tokens = sum(row.tokens for row in rows)
+    lines = [f"LLM cost attribution by {by} ({total_tokens} tokens total)"]
+    lines.extend(obs.render_rows(
+        ["group", "calls", "prompt", "completion", "tokens", "sim s"],
+        table,
+    ))
+    return "\n".join(lines)
+
+
+def profile_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments profile",
+        description=(
+            "Analyze a recorded JSONL trace: top spans, critical path, "
+            "LLM cost attribution, flamegraph and Chrome trace export."
+        ),
+    )
+    parser.add_argument("trace", help="JSONL trace from --trace-out")
+    parser.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="span names to show in the top table (default 15)",
+    )
+    parser.add_argument(
+        "--attr", choices=obs.ATTRIBUTION_MODES, default="stage",
+        help="group LLM costs by this dimension (default: stage)",
+    )
+    parser.add_argument(
+        "--metric", choices=("wall", "sim", "tokens"), default="wall",
+        help="value driving the flamegraph/critical path (default: wall)",
+    )
+    parser.add_argument(
+        "--flamegraph", metavar="PATH", default=None,
+        help="write folded stacks (flamegraph.pl / speedscope) to PATH",
+    )
+    parser.add_argument(
+        "--chrome", metavar="PATH", default=None,
+        help="write Chrome trace_event JSON (chrome://tracing) to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        trace = obs.load_trace(args.trace)
+    except (OSError, json.JSONDecodeError, KeyError) as error:
+        print(f"cannot read trace {args.trace}: {error}", file=sys.stderr)
+        return 1
+    if not trace.roots:
+        print(f"no spans in {args.trace}", file=sys.stderr)
+        return 1
+
+    sections = [
+        _top_table(trace, args.top),
+        _critical_path_table(trace, args.metric),
+        _attribution_table(trace, args.attr),
+    ]
+    print("\n\n".join(sections))
+
+    try:
+        if args.flamegraph:
+            folded = obs.flamegraph_folded(trace, metric=args.metric)
+            with open(args.flamegraph, "w", encoding="utf-8") as handle:
+                handle.write(folded)
+            print(f"\nflamegraph ({args.metric}) written to "
+                  f"{args.flamegraph}")
+        if args.chrome:
+            with open(args.chrome, "w", encoding="utf-8") as handle:
+                handle.write(obs.chrome_trace(trace))
+            print(f"chrome trace written to {args.chrome}")
+    except OSError as error:
+        print(f"cannot write export: {error}", file=sys.stderr)
+        return 1
+    return 0

@@ -5,15 +5,18 @@ parallelizing the prompting process (e.g., distributing different parts
 of the graph to multiple LLMs)."
 
 This pipeline does exactly that: the windows are distributed round-robin
-over ``workers`` simulated LLM replicas.  Each replica accumulates its
-own simulated clock; the mining wall time is the *makespan* (the slowest
-replica), so the speedup over the sequential pipeline approaches the
-worker count for large graphs.  Rule combination is unchanged — the
-per-window completions are unioned exactly as in §3.1.1.
+over ``workers`` simulated LLM replicas, each draining its share on a
+real thread of its own.  Each replica accumulates its own simulated
+clock; the mining wall time is the *makespan* (the slowest replica), so
+the speedup over the sequential pipeline approaches the worker count for
+large graphs.  Rule combination is unchanged — the per-window
+completions are unioned exactly as in §3.1.1, in window order, so a
+parallel run's rules are text-identical to the sequential run's.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro import obs
@@ -122,27 +125,65 @@ class ParallelSlidingWindowPipeline(BasePipeline):
             prompt_mode=prompt_mode, workers=self.workers,
             windows=windows.window_count,
         ) as mine_span:
-            per_window_rules = []
-            for window in windows.windows:
-                worker = window.index % self.workers
-                if examples is not None:
-                    prompt = few_shot_prompt(window.text, examples)
-                else:
-                    prompt = zero_shot_prompt(window.text)
-                with obs.span(
-                    "window", index=window.index, worker=worker
-                ) as sp:
-                    completion = replicas[worker].complete(prompt)
-                    reports[worker].windows += 1
-                    rules = self.parse_completion(
-                        completion.text,
-                        provenance=(
-                            f"{profile.name}/worker-{worker}/"
-                            f"window-{window.index}"
-                        ),
-                    )
-                    sp.set_attribute("rules", len(rules))
-                per_window_rules.append(rules)
+            # real worker threads, one per replica; each carries the
+            # mine span's trace context across the thread hop so the
+            # run still records a single connected span tree
+            context = obs.capture()
+            assignments: list[list[tuple[int, object]]] = [
+                [] for _ in range(self.workers)
+            ]
+            for position, window in enumerate(windows.windows):
+                assignments[window.index % self.workers].append(
+                    (position, window)
+                )
+            per_window_rules: list[list] = [
+                [] for _ in windows.windows
+            ]
+            errors: list[BaseException] = []
+
+            def drain(worker: int) -> None:
+                replica = replicas[worker]
+                report = reports[worker]
+                with context.attach():
+                    try:
+                        for position, window in assignments[worker]:
+                            if examples is not None:
+                                prompt = few_shot_prompt(
+                                    window.text, examples
+                                )
+                            else:
+                                prompt = zero_shot_prompt(window.text)
+                            with obs.span(
+                                "window",
+                                index=window.index, worker=worker,
+                            ) as sp:
+                                completion = replica.complete(prompt)
+                                report.windows += 1
+                                rules = self.parse_completion(
+                                    completion.text,
+                                    provenance=(
+                                        f"{profile.name}/worker-{worker}/"
+                                        f"window-{window.index}"
+                                    ),
+                                )
+                                sp.set_attribute("rules", len(rules))
+                            per_window_rules[position] = rules
+                    except BaseException as error:  # re-raised below
+                        errors.append(error)
+
+            threads = [
+                threading.Thread(
+                    target=drain, args=(worker,),
+                    name=f"mine-parallel-{worker}", daemon=True,
+                )
+                for worker in range(self.workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors:
+                raise errors[0]
             for report in reports:
                 report.seconds = report.clock.elapsed_seconds
                 # one summary span per replica: its share of the windows

@@ -297,7 +297,9 @@ class BasePipeline:
         """Second LLM step, correction protocol, metric evaluation."""
         clock_before = llm.clock.elapsed_seconds
         for rule in rules:
-            with obs.span("translate", rule_kind=rule.kind.name) as sp:
+            with obs.span(
+                "translate", rule_kind=rule.kind.name, rule=rule.text
+            ) as sp:
                 prompt = cypher_prompt(rule.text, self.context.schema_summary)
                 completion = llm.complete(prompt)
                 outcome = self.corrector.correct(rule, completion.text)

@@ -17,15 +17,30 @@ so instrumentation can stay default-on in every hot path.
 
 from __future__ import annotations
 
+from repro.obs.analyze import (
+    ATTRIBUTION_MODES,
+    CostRow,
+    NameStats,
+    aggregate_names,
+    attribute_costs,
+    chrome_trace,
+    critical_path,
+    flamegraph_folded,
+    load_trace,
+    span_tokens,
+)
 from repro.obs.export import (
     ParsedSpan,
     ParsedTrace,
     parse_jsonl,
     prometheus_text,
+    render_rows,
     summary_table,
     to_jsonl,
     write_jsonl,
 )
+from repro.obs.propagate import EMPTY_CONTEXT, TraceContext, capture, wrap
+from repro.obs.server import TelemetryServer
 from repro.obs.metrics import (
     Counter,
     DEFAULT_BUCKETS,
@@ -46,29 +61,45 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "ATTRIBUTION_MODES",
+    "CostRow",
     "Counter",
     "DEFAULT_BUCKETS",
+    "EMPTY_CONTEXT",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
     "MetricsRegistry",
+    "NameStats",
     "ParsedSpan",
     "ParsedTrace",
     "Span",
     "SpanStats",
+    "TelemetryServer",
     "TraceCollector",
+    "TraceContext",
+    "aggregate_names",
+    "attribute_costs",
+    "capture",
+    "chrome_trace",
+    "critical_path",
+    "flamegraph_folded",
     "get_collector",
     "inc",
     "install",
+    "load_trace",
     "observe",
     "parse_jsonl",
     "prometheus_text",
+    "render_rows",
     "set_gauge",
     "span",
+    "span_tokens",
     "summary_table",
     "to_jsonl",
     "traced",
     "uninstall",
+    "wrap",
     "write_jsonl",
 ]
 

@@ -1,0 +1,329 @@
+"""Trace intelligence: offline analysis of recorded JSONL traces.
+
+A recorded trace (``--trace-out``) answers "what happened"; this module
+answers the paper's cost questions — *where did the tokens go*, *which
+stage is the critical path* — by reconstructing the span forest and
+rolling LLM costs up along it:
+
+* :func:`aggregate_names` — per-span-name totals with **self** wall time
+  (inclusive minus children), the profiler's top-N table;
+* :func:`critical_path` — the heaviest root-to-leaf chain by wall or
+  simulated time;
+* :func:`attribute_costs` — every ``llm.call``'s tokens/sim-time rolled
+  up to the nearest enclosing rule, window, dataset, job or stage, so
+  attribution totals always equal the run's token totals;
+* :func:`flamegraph_folded` — Brendan-Gregg folded-stack text
+  (``flamegraph.pl`` / speedscope compatible);
+* :func:`chrome_trace` — Chrome ``chrome://tracing`` / Perfetto
+  ``trace_event`` JSON, one lane per recorded thread.
+
+Everything operates on :class:`~repro.obs.export.ParsedTrace`, so the
+analysis is decoupled from the live collector and works on any archived
+trace file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.obs.export import ParsedSpan, ParsedTrace, parse_jsonl
+
+__all__ = [
+    "ATTRIBUTION_MODES",
+    "CostRow",
+    "NameStats",
+    "aggregate_names",
+    "attribute_costs",
+    "chrome_trace",
+    "critical_path",
+    "flamegraph_folded",
+    "load_trace",
+    "span_tokens",
+]
+
+#: supported ``--attr`` grouping modes for :func:`attribute_costs`
+ATTRIBUTION_MODES = ("rule", "window", "dataset", "job", "stage")
+
+#: spans carrying these attributes are treated as cost-bearing LLM calls
+_TOKEN_ATTRS = ("prompt_tokens", "completion_tokens")
+
+
+def load_trace(path: str) -> ParsedTrace:
+    """Read and reconstruct one JSONL trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_jsonl(handle.read())
+
+
+def span_tokens(span: ParsedSpan) -> int:
+    """Total tokens recorded on one span (0 for non-LLM spans)."""
+    return sum(int(span.attributes.get(key, 0) or 0) for key in _TOKEN_ATTRS)
+
+
+# ----------------------------------------------------------------------
+# per-name aggregation (profiler top-N)
+# ----------------------------------------------------------------------
+@dataclass
+class NameStats:
+    """Aggregate over all spans sharing one name, with self time."""
+
+    name: str
+    count: int = 0
+    wall_seconds: float = 0.0        # inclusive (children counted)
+    self_wall_seconds: float = 0.0   # exclusive (children subtracted)
+    sim_seconds: float = 0.0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    @property
+    def tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+def _roots(trace: ParsedTrace | ParsedSpan) -> list[ParsedSpan]:
+    if isinstance(trace, ParsedSpan):
+        return [trace]
+    return trace.roots
+
+
+def aggregate_names(
+    trace: ParsedTrace | ParsedSpan,
+) -> dict[str, NameStats]:
+    """Per-name totals; ``self_wall_seconds`` subtracts child time so a
+    parent span does not double-bill the work of its children."""
+    stats: dict[str, NameStats] = {}
+    for root in _roots(trace):
+        for span in root.walk():
+            entry = stats.get(span.name)
+            if entry is None:
+                entry = stats[span.name] = NameStats(name=span.name)
+            child_wall = sum(c.wall_seconds for c in span.children)
+            entry.count += 1
+            entry.wall_seconds += span.wall_seconds
+            entry.self_wall_seconds += max(
+                0.0, span.wall_seconds - child_wall
+            )
+            entry.sim_seconds += span.sim_seconds
+            entry.prompt_tokens += int(
+                span.attributes.get("prompt_tokens", 0) or 0
+            )
+            entry.completion_tokens += int(
+                span.attributes.get("completion_tokens", 0) or 0
+            )
+    return stats
+
+
+# ----------------------------------------------------------------------
+# critical path
+# ----------------------------------------------------------------------
+def _subtree_metric(span: ParsedSpan, metric: str) -> float:
+    if metric == "wall":
+        # wall is recorded inclusively: the span's own duration covers
+        # its (same-thread) children
+        return span.wall_seconds
+    return span.sim_seconds + sum(
+        _subtree_metric(child, metric) for child in span.children
+    )
+
+
+def critical_path(
+    root: ParsedSpan, metric: str = "wall"
+) -> list[tuple[ParsedSpan, float]]:
+    """The heaviest chain from ``root`` to a leaf.
+
+    At each level the child with the largest subtree total (by ``metric``:
+    ``wall`` or ``sim``) is followed; the returned list pairs each span on
+    the chain with that subtree total — the profiler's "where would
+    speeding things up actually shorten the run" view.
+    """
+    if metric not in ("wall", "sim"):
+        raise ValueError(f"metric must be 'wall' or 'sim', got {metric!r}")
+    path = [(root, _subtree_metric(root, metric))]
+    node = root
+    while node.children:
+        node = max(
+            node.children, key=lambda c: _subtree_metric(c, metric)
+        )
+        path.append((node, _subtree_metric(node, metric)))
+    return path
+
+
+# ----------------------------------------------------------------------
+# cost attribution
+# ----------------------------------------------------------------------
+@dataclass
+class CostRow:
+    """Rolled-up LLM cost for one attribution group."""
+
+    key: str
+    calls: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    sim_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+def _attribution_key(
+    mode: str, ancestry: list[ParsedSpan], span: ParsedSpan
+) -> str:
+    """The group for one LLM-call span; ``ancestry`` is outermost-first
+    and includes ``span`` itself as the last element."""
+    if mode == "rule":
+        for node in reversed(ancestry):
+            if "rule" in node.attributes:
+                return str(node.attributes["rule"])
+        return "(mining: no rule yet)"
+    if mode == "window":
+        for node in reversed(ancestry):
+            if node.name == "window":
+                return f"window {node.attributes.get('index', '?')}"
+        return "(outside windows)"
+    if mode == "dataset":
+        for node in reversed(ancestry):
+            if "dataset" in node.attributes:
+                return str(node.attributes["dataset"])
+        return "(no dataset)"
+    if mode == "job":
+        for node in reversed(ancestry):
+            if "job_id" in node.attributes:
+                return str(node.attributes["job_id"])
+        return "(no job)"
+    if mode == "stage":
+        # the nearest non-LLM ancestor names the pipeline stage the
+        # call was made from (window → mining, translate → cypher, ...)
+        for node in reversed(ancestry[:-1]):
+            if not node.name.startswith("llm."):
+                return node.name
+        return "(root)"
+    raise ValueError(
+        f"unknown attribution mode {mode!r}; one of {ATTRIBUTION_MODES}"
+    )
+
+
+def attribute_costs(
+    trace: ParsedTrace | ParsedSpan, by: str = "stage"
+) -> list[CostRow]:
+    """Roll every LLM call's cost up to its nearest enclosing group.
+
+    Each cost-bearing span (one carrying token attributes) is attributed
+    to exactly one group, so the rows' token totals always sum to the
+    trace's total LLM tokens — the invariant that lets ``profile`` output
+    be cross-checked against :class:`~repro.mining.result.MiningRun`
+    token totals.
+    """
+    rows: dict[str, CostRow] = {}
+
+    def visit(span: ParsedSpan, ancestry: list[ParsedSpan]) -> None:
+        ancestry.append(span)
+        if any(key in span.attributes for key in _TOKEN_ATTRS):
+            group = _attribution_key(by, ancestry, span)
+            row = rows.get(group)
+            if row is None:
+                row = rows[group] = CostRow(key=group)
+            row.calls += 1
+            row.prompt_tokens += int(
+                span.attributes.get("prompt_tokens", 0) or 0
+            )
+            row.completion_tokens += int(
+                span.attributes.get("completion_tokens", 0) or 0
+            )
+            row.sim_seconds += span.sim_seconds
+            row.wall_seconds += span.wall_seconds
+        for child in span.children:
+            visit(child, ancestry)
+        ancestry.pop()
+
+    for root in _roots(trace):
+        visit(root, [])
+    return sorted(rows.values(), key=lambda row: (-row.tokens, row.key))
+
+
+# ----------------------------------------------------------------------
+# flamegraph (folded stacks)
+# ----------------------------------------------------------------------
+def _self_value(span: ParsedSpan, metric: str) -> float:
+    if metric == "wall":
+        child = sum(c.wall_seconds for c in span.children)
+        return max(0.0, span.wall_seconds - child) * 1e6   # µs
+    if metric == "sim":
+        below = sum(
+            item.sim_seconds for item in span.walk() if item is not span
+        )
+        # pipeline roll-up spans re-record their subtree's total sim
+        # time; subtracting the descendants keeps each simulated second
+        # in exactly one frame
+        return max(0.0, span.sim_seconds - below) * 1e6    # µs
+    if metric == "tokens":
+        return float(span_tokens(span))
+    raise ValueError(
+        f"metric must be 'wall', 'sim' or 'tokens', got {metric!r}"
+    )
+
+
+def flamegraph_folded(
+    trace: ParsedTrace | ParsedSpan, metric: str = "wall"
+) -> str:
+    """Folded-stack text: ``root;child;leaf <count>`` per unique path.
+
+    Counts are self values — wall/sim in integer microseconds, or
+    tokens — so ``flamegraph.pl`` and speedscope render frame widths
+    proportional to exclusive cost.
+    """
+    stacks: dict[tuple[str, ...], float] = {}
+
+    def visit(span: ParsedSpan, prefix: tuple[str, ...]) -> None:
+        path = prefix + (span.name,)
+        value = _self_value(span, metric)
+        if value > 0:
+            stacks[path] = stacks.get(path, 0.0) + value
+        for child in span.children:
+            visit(child, path)
+
+    for root in _roots(trace):
+        visit(root, ())
+    lines = [
+        f"{';'.join(path)} {int(round(value))}"
+        for path, value in sorted(stacks.items())
+        if int(round(value)) > 0
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+def chrome_trace(trace: ParsedTrace | ParsedSpan) -> str:
+    """Chrome ``trace_event`` JSON: complete ("X") events, one lane per
+    recorded thread, timestamps rebased to the earliest span."""
+    spans = [
+        span for root in _roots(trace) for span in root.walk()
+    ]
+    base = min((span.start for span in spans), default=0.0)
+    thread_ids: dict[str, int] = {}
+    events: list[dict[str, object]] = []
+    for span in spans:
+        thread = span.thread or "main"
+        tid = thread_ids.setdefault(thread, len(thread_ids) + 1)
+        events.append({
+            "name": span.name,
+            "cat": "span",
+            "ph": "X",
+            "pid": 1,
+            "tid": tid,
+            "ts": round((span.start - base) * 1e6, 3),
+            "dur": round(span.wall_seconds * 1e6, 3),
+            "args": dict(span.attributes, sim_seconds=span.sim_seconds),
+        })
+    for thread, tid in thread_ids.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": thread},
+        })
+    return json.dumps({"traceEvents": events}, default=str)

@@ -20,6 +20,7 @@ __all__ = [
     "ParsedTrace",
     "parse_jsonl",
     "prometheus_text",
+    "render_rows",
     "summary_table",
     "to_jsonl",
     "write_jsonl",
@@ -42,6 +43,7 @@ def to_jsonl(collector: TraceCollector) -> str:
             "end": item.end_wall,
             "wall_seconds": item.wall_seconds,
             "sim_seconds": item.sim_seconds,
+            "thread": item.thread,
             "attributes": item.attributes,
         }, sort_keys=True, default=str))
     for instrument in collector.metrics.collect():
@@ -86,6 +88,9 @@ class ParsedSpan:
     sim_seconds: float
     attributes: dict[str, object]
     children: list["ParsedSpan"] = field(default_factory=list)
+    start: float = 0.0
+    end: float | None = None
+    thread: str = ""
 
     def walk(self):
         yield self
@@ -135,6 +140,9 @@ def parse_jsonl(text: str) -> ParsedTrace:
             wall_seconds=record["wall_seconds"],
             sim_seconds=record["sim_seconds"],
             attributes=record["attributes"],
+            start=record.get("start", 0.0),
+            end=record.get("end"),
+            thread=record.get("thread", ""),
         )
         by_id[parsed.span_id] = parsed
         parent = by_id.get(parsed.parent_id)
@@ -149,14 +157,29 @@ def parse_jsonl(text: str) -> ParsedTrace:
 # Prometheus text format
 # ----------------------------------------------------------------------
 def _prom_name(name: str) -> str:
-    return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    # exposition-format metric names must not start with a digit
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_escape(value: object) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double-quote and newline must be backslash-escaped."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def _prom_labels(labels: dict[str, object]) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{_prom_name(str(key))}="{value}"'
+        f'{_prom_name(str(key))}="{_prom_escape(value)}"'
         for key, value in sorted(labels.items())
     )
     return "{" + inner + "}"
@@ -198,13 +221,21 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 lines.append(
                     f"{name}_count{_prom_labels(labels)} {snap.count}"
                 )
+                # estimated quantiles as untyped companion series (the
+                # histogram TYPE above stays conformant; dashboards that
+                # cannot run histogram_quantile() read these directly)
+                for key, estimate in snap.percentiles().items():
+                    lines.append(
+                        f"{name}_{key}{_prom_labels(labels)} "
+                        f"{estimate:.6g}"
+                    )
     return "\n".join(lines) + ("\n" if lines else "")
 
 
 # ----------------------------------------------------------------------
 # human-readable summary
 # ----------------------------------------------------------------------
-def _render_rows(headers: list[str], rows: list[list[str]]) -> list[str]:
+def render_rows(headers: list[str], rows: list[list[str]]) -> list[str]:
     widths = [
         max(len(headers[i]), *(len(row[i]) for row in rows)) if rows
         else len(headers[i])
@@ -239,14 +270,29 @@ def summary_table(collector: TraceCollector) -> str:
     ]
     lines.append("")
     lines.append("spans (aggregated by name)")
-    lines.extend(_render_rows(
+    lines.extend(render_rows(
         ["span", "count", "wall s", "sim s"], span_rows
     ))
 
     counter_rows: list[list[str]] = []
     gauge_rows: list[list[str]] = []
+    histogram_rows: list[list[str]] = []
     for instrument in collector.metrics.collect():
         if isinstance(instrument, Histogram):
+            for labels, _state in instrument.samples():
+                snap = instrument.snapshot(**labels)
+                label_text = ",".join(
+                    f"{key}={item}" for key, item in sorted(labels.items())
+                )
+                histogram_rows.append([
+                    instrument.name,
+                    label_text,
+                    str(snap.count),
+                    f"{snap.sum:.4g}",
+                    f"{snap.quantile(0.50):.4g}",
+                    f"{snap.quantile(0.95):.4g}",
+                    f"{snap.quantile(0.99):.4g}",
+                ])
             continue
         for labels, value in instrument.samples():
             label_text = ",".join(
@@ -263,9 +309,16 @@ def summary_table(collector: TraceCollector) -> str:
     if counter_rows:
         lines.append("")
         lines.append("counters")
-        lines.extend(_render_rows(["counter", "labels", "value"], counter_rows))
+        lines.extend(render_rows(["counter", "labels", "value"], counter_rows))
     if gauge_rows:
         lines.append("")
         lines.append("gauges")
-        lines.extend(_render_rows(["gauge", "labels", "value"], gauge_rows))
+        lines.extend(render_rows(["gauge", "labels", "value"], gauge_rows))
+    if histogram_rows:
+        lines.append("")
+        lines.append("histograms (p50/p95/p99 interpolated from buckets)")
+        lines.extend(render_rows(
+            ["histogram", "labels", "count", "sum", "p50", "p95", "p99"],
+            histogram_rows,
+        ))
     return "\n".join(lines)

@@ -110,6 +110,38 @@ class HistogramSnapshot:
             out.append(total)
         return tuple(out)
 
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile by linear interpolation within buckets.
+
+        The estimator assumes observations are uniformly spread inside
+        their bucket (the classic Prometheus ``histogram_quantile``
+        model): the first bucket interpolates from 0, and ranks landing
+        in the +Inf overflow bucket clamp to the largest finite bound.
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            if bucket_count and cumulative + bucket_count >= rank:
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (bound - lower) * max(0.0, fraction)
+            cumulative += bucket_count
+            lower = bound
+        return self.buckets[-1]
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard reporting trio: p50 / p95 / p99."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
 
 class Histogram(_Instrument):
     """Fixed-bucket histogram of observations."""

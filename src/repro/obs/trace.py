@@ -40,7 +40,7 @@ class Span:
 
     __slots__ = (
         "span_id", "parent_id", "name", "attributes",
-        "start_wall", "end_wall", "sim_seconds", "children",
+        "start_wall", "end_wall", "sim_seconds", "children", "thread",
     )
 
     def __init__(
@@ -50,6 +50,7 @@ class Span:
         name: str,
         attributes: dict[str, object],
         start_wall: float,
+        thread: str = "",
     ) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
@@ -59,6 +60,7 @@ class Span:
         self.end_wall: float | None = None
         self.sim_seconds = 0.0
         self.children: list["Span"] = []
+        self.thread = thread
 
     # ------------------------------------------------------------------
     @property
@@ -160,8 +162,11 @@ class TraceCollector:
             name=name,
             attributes=dict(attributes or {}),
             start_wall=self.wall_clock(),
+            thread=threading.current_thread().name,
         )
         if parent is not None:
+            # list.append is atomic under the GIL, so children from
+            # several threads attached to one propagated parent are safe
             parent.children.append(new)
         else:
             with self._lock:
@@ -177,6 +182,25 @@ class TraceCollector:
         while stack:
             top = stack.pop()
             if top is target:
+                return
+
+    # ------------------------------------------------------------------
+    # cross-thread propagation hooks (see :mod:`repro.obs.propagate`)
+    # ------------------------------------------------------------------
+    def adopt_span(self, target: Span) -> None:
+        """Push a span owned by *another* thread onto this thread's stack.
+
+        Spans started on this thread afterwards become children of
+        ``target``; the adopted span itself is never finished here —
+        :meth:`release_span` merely removes it again.
+        """
+        self._stack().append(target)
+
+    def release_span(self, target: Span) -> None:
+        """Undo :meth:`adopt_span`, unwinding any spans leaked inside."""
+        stack = self._stack()
+        while stack:
+            if stack.pop() is target:
                 return
 
     # ------------------------------------------------------------------

@@ -103,6 +103,7 @@ class MiningService:
         self._lock = threading.Lock()         # job table + state moves
         self._build_lock = threading.Lock()   # context/pipeline builds
         self._started = False
+        self._running = 0                     # jobs currently executing
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -231,6 +232,9 @@ class MiningService:
         job = Job(
             spec=spec, job_id=job_id, priority=priority,
             submitted_at=self._clock(),
+            # snapshot the caller's tracing position: the worker thread
+            # attaches it so the job's spans join the submitter's tree
+            trace_ctx=obs.capture(),
         )
         cached = self.cache.get(job_id) if self.cache is not None else None
         if cached is not None:
@@ -338,6 +342,33 @@ class MiningService:
             ),
         }
 
+    def telemetry(self) -> dict[str, object]:
+        """The live ``/jobs`` payload: queue depth, per-state job
+        counts and worker utilization (see :mod:`repro.obs.server`)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+            running = self._running
+        by_state: dict[str, int] = {state.value: 0 for state in JobState}
+        for job in jobs:
+            by_state[job.state.value] += 1
+        workers = self.pool.worker_count
+        return {
+            "queue": {
+                "depth": self.queue.depth,
+                "max_depth_seen": self.queue.max_depth_seen,
+                "capacity": self.queue.maxsize,
+                "closed": self.queue.closed,
+            },
+            "jobs": by_state,
+            "submitted": len(jobs),
+            "workers": {
+                "total": workers,
+                "alive": self.pool.alive,
+                "busy": running,
+                "utilization": running / workers if workers else 0.0,
+            },
+        }
+
     def mine(
         self, dataset: str, model: str, method: str, prompt_mode: str,
         timeout: Optional[float] = None, **overrides: object,
@@ -355,6 +386,14 @@ class MiningService:
                 return  # cancelled while waiting in the heap
             job.state = JobState.RUNNING
             job.started_at = self._clock()
+            self._running += 1
+        context = job.trace_ctx if job.trace_ctx is not None else (
+            obs.EMPTY_CONTEXT
+        )
+        with context.attach():
+            self._execute_attached(job)
+
+    def _execute_attached(self, job: Job) -> None:
         spec = job.spec
         obs.observe("service.job_wait_seconds", job.wait_seconds)
 
@@ -401,5 +440,7 @@ class MiningService:
             obs.inc("service.jobs_failed", error=type(error).__name__)
         finally:
             job.finished_at = self._clock()
+            with self._lock:
+                self._running -= 1
             obs.observe("service.job_seconds", job.run_seconds)
             job.done.set()

@@ -196,6 +196,10 @@ class Job:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     done: threading.Event = field(default_factory=threading.Event, repr=False)
+    #: the submitter's :class:`repro.obs.TraceContext`, captured at
+    #: submit time so the worker thread re-parents the job's spans under
+    #: the client's span tree instead of growing an orphan root
+    trace_ctx: object = field(default=None, repr=False)
 
     @property
     def wait_seconds(self) -> float:

@@ -141,8 +141,11 @@ class WorkerPool:
             # worker thread must survive anything a job throws at it
             try:
                 self.execute(job)
-            except Exception:  # pragma: no cover - defensive
-                obs.inc("service.worker_crashes")
+            except Exception as error:  # pragma: no cover - defensive
+                obs.inc(
+                    "service.worker_crashes",
+                    exc_type=type(error).__name__,
+                )
 
     def join(self, timeout: Optional[float] = None) -> None:
         """Wait for the workers to exit (call after queue.close())."""

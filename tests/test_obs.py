@@ -258,3 +258,138 @@ class TestExport:
         table = obs.summary_table(collector)
         assert "root" in table and "leaf" in table
         assert "calls" in table and "model=llama3" in table
+
+
+# ----------------------------------------------------------------------
+# histogram quantile estimation
+# ----------------------------------------------------------------------
+class TestQuantiles:
+    def _uniform_histogram(self):
+        """1000 observations spread evenly over (0, 100] with decade
+        buckets: the estimated quantiles land on the exact values."""
+        registry = obs.MetricsRegistry()
+        hist = registry.histogram(
+            "d", buckets=tuple(float(b) for b in range(10, 101, 10))
+        )
+        for k in range(1000):
+            hist.observe(k / 10.0 + 0.05)
+        return hist.snapshot()
+
+    def test_uniform_distribution_quantiles(self):
+        snap = self._uniform_histogram()
+        assert snap.quantile(0.50) == pytest.approx(50.0, abs=0.5)
+        assert snap.quantile(0.95) == pytest.approx(95.0, abs=0.5)
+        assert snap.quantile(0.99) == pytest.approx(99.0, abs=0.5)
+        assert snap.percentiles() == {
+            "p50": snap.quantile(0.50),
+            "p95": snap.quantile(0.95),
+            "p99": snap.quantile(0.99),
+        }
+
+    def test_quantiles_are_monotone_and_bounded(self):
+        snap = self._uniform_histogram()
+        grid = [snap.quantile(q / 20) for q in range(21)]
+        assert grid == sorted(grid)
+        assert grid[0] >= 0.0
+        assert grid[-1] <= snap.buckets[-1]
+
+    def test_single_bucket_interpolation(self):
+        registry = obs.MetricsRegistry()
+        hist = registry.histogram("one", buckets=(10.0,))
+        for _ in range(4):
+            hist.observe(5.0)
+        # all mass in (0, 10]: p50 interpolates to the bucket midpoint
+        assert hist.snapshot().quantile(0.5) == pytest.approx(5.0)
+
+    def test_overflow_clamps_to_largest_finite_bound(self):
+        registry = obs.MetricsRegistry()
+        hist = registry.histogram("c", buckets=(1.0, 2.0))
+        for value in (0.5, 50.0, 60.0, 70.0):
+            hist.observe(value)
+        # p99 falls in the +Inf bucket; the estimate clamps to 2.0
+        # rather than inventing an unbounded value
+        assert hist.snapshot().quantile(0.99) == 2.0
+
+    def test_empty_histogram_is_zero(self):
+        registry = obs.MetricsRegistry()
+        snap = registry.histogram("empty", buckets=(1.0,)).snapshot()
+        assert snap.quantile(0.5) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        snap = self._uniform_histogram()
+        with pytest.raises(ValueError):
+            snap.quantile(-0.1)
+        with pytest.raises(ValueError):
+            snap.quantile(1.1)
+
+    def test_summary_table_shows_percentiles(self):
+        collector = obs.install(obs.TraceCollector(wall_clock=FakeClock()))
+        for value in (0.1, 0.2, 0.3):
+            obs.observe("lat", value)
+        obs.uninstall()
+        table = obs.summary_table(collector)
+        assert "p50" in table and "p95" in table and "p99" in table
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition-format conformance
+# ----------------------------------------------------------------------
+class TestPromConformance:
+    def test_label_value_escaping(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("c").inc(
+            1, rule='say "hi"\nback\\slash'
+        )
+        text = obs.prometheus_text(registry)
+        assert (
+            'c{rule="say \\"hi\\"\\nback\\\\slash"} 1' in text
+        )
+        # the raw newline never leaks into the sample line
+        assert all(
+            line.startswith(("#", "c{")) for line in text.splitlines()
+        )
+
+    def test_metric_name_sanitization(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("llm.calls-total").inc(1)
+        registry.counter("9lives").inc(1)
+        text = obs.prometheus_text(registry)
+        assert "llm_calls_total 1" in text
+        # names must not start with a digit
+        assert "_9lives 1" in text
+        assert "\n9lives" not in text
+
+    def test_label_names_sanitized_and_sorted(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("c").inc(1, zeta=1, alpha=2)
+        registry.counter("c").inc(1, alpha=2, zeta=1)   # same series
+        text = obs.prometheus_text(registry)
+        assert 'c{alpha="2",zeta="1"} 2' in text
+
+    def test_output_order_is_stable(self):
+        def build() -> obs.MetricsRegistry:
+            registry = obs.MetricsRegistry()
+            registry.counter("a").inc(1, x=1)
+            registry.counter("a").inc(1, x=2)
+            registry.histogram("h", buckets=(1.0,)).observe(0.5)
+            registry.gauge("g").set(3)
+            return registry
+
+        assert obs.prometheus_text(build()) == obs.prometheus_text(build())
+
+    def test_histogram_block_is_complete(self):
+        registry = obs.MetricsRegistry()
+        registry.histogram("lat", buckets=(0.1, 1.0)).observe(
+            0.05, model="llama3"
+        )
+        text = obs.prometheus_text(registry)
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="0.1",model="llama3"} 1' in text
+        assert 'lat_bucket{le="+Inf",model="llama3"} 1' in text
+        assert 'lat_sum{model="llama3"} 0.05' in text
+        assert 'lat_count{model="llama3"} 1' in text
+        # estimated quantiles ride along as untyped companion series
+        assert 'lat_p50{model="llama3"}' in text
+        assert 'lat_p95{model="llama3"}' in text
+        assert 'lat_p99{model="llama3"}' in text
+        assert "# TYPE lat_p50" not in text

@@ -1,0 +1,207 @@
+"""Trace intelligence (repro.obs.analyze): aggregation, critical path,
+cost attribution, flamegraphs, Chrome trace export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_collector():
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+class StepClock:
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def build_trace() -> obs.ParsedTrace:
+    """A miniature mining-shaped trace with known numbers.
+
+    job (job_id=j1, dataset=d)
+      window (index 0)  -> llm.call 100+10 tokens, 2.0 sim
+      window (index 1)  -> llm.call 200+20 tokens, 3.0 sim
+      translate (rule=R1) -> llm.call 50+5 tokens, 1.0 sim
+    """
+    collector = obs.install(obs.TraceCollector(wall_clock=StepClock()))
+    with obs.span("job", job_id="j1", dataset="d"):
+        for index, (prompt, completion, sim) in enumerate(
+            [(100, 10, 2.0), (200, 20, 3.0)]
+        ):
+            with obs.span("window", index=index):
+                with obs.span("llm.call") as call:
+                    call.set_attribute("prompt_tokens", prompt)
+                    call.set_attribute("completion_tokens", completion)
+                    call.add_sim_time(sim)
+        with obs.span("translate", rule="R1"):
+            with obs.span("llm.call") as call:
+                call.set_attribute("prompt_tokens", 50)
+                call.set_attribute("completion_tokens", 5)
+                call.add_sim_time(1.0)
+    text = obs.to_jsonl(collector)
+    obs.uninstall()
+    return obs.parse_jsonl(text)
+
+
+TOTAL_TOKENS = 100 + 10 + 200 + 20 + 50 + 5
+
+
+class TestAggregateNames:
+    def test_counts_and_self_time(self):
+        trace = build_trace()
+        stats = obs.aggregate_names(trace)
+        assert stats["llm.call"].count == 3
+        assert stats["window"].count == 2
+        assert stats["llm.call"].tokens == TOTAL_TOKENS
+        # the StepClock ticks once per start/end: every span's inclusive
+        # wall time covers its children, so self time stays non-negative
+        for entry in stats.values():
+            assert entry.self_wall_seconds >= 0.0
+            assert entry.self_wall_seconds <= entry.wall_seconds
+
+    def test_wall_is_inclusive(self):
+        trace = build_trace()
+        stats = obs.aggregate_names(trace)
+        root = trace.roots[0]
+        assert stats["job"].wall_seconds == pytest.approx(
+            root.wall_seconds
+        )
+
+
+class TestCriticalPath:
+    def test_follows_heaviest_child(self):
+        trace = build_trace()
+        path = obs.critical_path(trace.roots[0], metric="sim")
+        names = [span.name for span, _total in path]
+        assert names[0] == "job"
+        assert names[1] == "window"
+        # window 1 carries 3.0 sim seconds vs window 0's 2.0
+        assert path[1][0].attributes["index"] == 1
+        assert path[1][1] == pytest.approx(3.0)
+        # totals never increase along the path
+        totals = [total for _span, total in path]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_rejects_unknown_metric(self):
+        trace = build_trace()
+        with pytest.raises(ValueError):
+            obs.critical_path(trace.roots[0], metric="tokens")
+
+
+class TestAttribution:
+    @pytest.mark.parametrize("mode", obs.ATTRIBUTION_MODES)
+    def test_totals_conserved_in_every_mode(self, mode):
+        # each LLM call lands in exactly one group: attribution always
+        # sums to the trace's token total, whatever the grouping
+        trace = build_trace()
+        rows = obs.attribute_costs(trace, by=mode)
+        assert sum(row.tokens for row in rows) == TOTAL_TOKENS
+        assert sum(row.calls for row in rows) == 3
+
+    def test_by_rule(self):
+        trace = build_trace()
+        rows = {row.key: row for row in obs.attribute_costs(trace, by="rule")}
+        assert rows["R1"].tokens == 55
+        assert rows["(mining: no rule yet)"].tokens == 330
+
+    def test_by_window(self):
+        trace = build_trace()
+        rows = {
+            row.key: row for row in obs.attribute_costs(trace, by="window")
+        }
+        assert rows["window 0"].tokens == 110
+        assert rows["window 1"].tokens == 220
+        assert rows["(outside windows)"].tokens == 55
+
+    def test_by_stage_and_job_and_dataset(self):
+        trace = build_trace()
+        stages = {
+            row.key: row.tokens
+            for row in obs.attribute_costs(trace, by="stage")
+        }
+        assert stages == {"window": 330, "translate": 55}
+        for mode, expected_key in (("job", "j1"), ("dataset", "d")):
+            rows = obs.attribute_costs(trace, by=mode)
+            assert len(rows) == 1 and rows[0].key == expected_key
+
+    def test_sorted_heaviest_first(self):
+        trace = build_trace()
+        rows = obs.attribute_costs(trace, by="window")
+        tokens = [row.tokens for row in rows]
+        assert tokens == sorted(tokens, reverse=True)
+
+    def test_unknown_mode_rejected(self):
+        trace = build_trace()
+        with pytest.raises(ValueError):
+            obs.attribute_costs(trace, by="nope")
+
+
+class TestFlamegraph:
+    def test_folded_stacks_by_tokens(self):
+        trace = build_trace()
+        folded = obs.flamegraph_folded(trace, metric="tokens")
+        lines = dict(
+            line.rsplit(" ", 1) for line in folded.strip().splitlines()
+        )
+        assert lines["job;window;llm.call"] == str(330)
+        assert lines["job;translate;llm.call"] == str(55)
+
+    def test_sim_metric_counts_each_second_once(self):
+        trace = build_trace()
+        folded = obs.flamegraph_folded(trace, metric="sim")
+        total_us = sum(
+            int(line.rsplit(" ", 1)[1])
+            for line in folded.strip().splitlines()
+        )
+        assert total_us == pytest.approx(6.0 * 1e6)
+
+    def test_wall_metric_total_matches_roots(self):
+        trace = build_trace()
+        folded = obs.flamegraph_folded(trace, metric="wall")
+        total_us = sum(
+            int(line.rsplit(" ", 1)[1])
+            for line in folded.strip().splitlines()
+        )
+        root_us = sum(root.wall_seconds for root in trace.roots) * 1e6
+        assert total_us == pytest.approx(root_us, rel=1e-6)
+
+
+class TestChromeTrace:
+    def test_events_are_valid_and_complete(self):
+        trace = build_trace()
+        payload = json.loads(obs.chrome_trace(trace))
+        events = payload["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == len(list(trace.spans()))
+        assert metadata and all(
+            e["name"] == "thread_name" for e in metadata
+        )
+        assert min(e["ts"] for e in complete) == 0
+        for event in complete:
+            assert event["dur"] >= 0
+            assert event["pid"] == 1
+
+
+class TestLoadTrace:
+    def test_round_trip_through_file(self, tmp_path):
+        collector = obs.install(obs.TraceCollector(wall_clock=StepClock()))
+        with obs.span("root"):
+            obs.inc("things", 3)
+        obs.write_jsonl(collector, str(tmp_path / "t.jsonl"))
+        obs.uninstall()
+        trace = obs.load_trace(str(tmp_path / "t.jsonl"))
+        assert trace.span_names() == {"root"}
+        assert trace.counter_value("things") == 3

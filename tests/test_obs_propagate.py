@@ -1,0 +1,152 @@
+"""Cross-thread trace-context propagation (repro.obs.propagate)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_collector():
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+class TestCapture:
+    def test_without_collector_is_empty(self):
+        context = obs.capture()
+        assert context is obs.EMPTY_CONTEXT
+        assert not context.active
+        # attaching an empty context is a harmless no-op
+        with context.attach():
+            with obs.span("anything"):
+                pass
+
+    def test_captures_current_span(self):
+        collector = obs.install()
+        with obs.span("outer") as outer:
+            context = obs.capture()
+            assert context.active
+            assert context.span is outer
+            assert context.collector is collector
+
+    def test_stale_after_uninstall(self):
+        obs.install()
+        with obs.span("outer"):
+            context = obs.capture()
+        obs.uninstall()
+        assert not context.active
+        with context.attach():          # must not raise or record
+            with obs.span("orphan"):
+                pass
+
+    def test_stale_after_reinstall(self):
+        obs.install()
+        with obs.span("outer"):
+            context = obs.capture()
+        obs.uninstall()
+        fresh = obs.install()
+        # the captured collector is no longer the installed one: the
+        # context must not graft spans into a retired trace
+        assert not context.active
+        with context.attach():
+            with obs.span("new-root"):
+                pass
+        assert [s.name for s in fresh.roots] == ["new-root"]
+
+
+class TestAttach:
+    def test_spans_cross_the_thread_hop(self):
+        collector = obs.install()
+        with obs.span("client") as client:
+            context = obs.capture()
+
+            def work():
+                with context.attach():
+                    with obs.span("remote"):
+                        pass
+
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        assert len(collector.roots) == 1
+        root = collector.roots[0]
+        assert root is client
+        assert [c.name for c in root.children] == ["remote"]
+        assert root.children[0].parent_id == root.span_id
+        # the hop is recorded: parent and child ran on different threads
+        assert root.children[0].thread != root.thread
+
+    def test_without_attach_threads_grow_orphan_roots(self):
+        collector = obs.install()
+        with obs.span("client"):
+            thread = threading.Thread(
+                target=lambda: obs.span("remote").__enter__()
+            )
+            thread.start()
+            thread.join()
+        assert {s.name for s in collector.roots} == {"client", "remote"}
+
+    def test_release_unwinds_leaked_spans(self):
+        collector = obs.install()
+        with obs.span("client"):
+            context = obs.capture()
+
+        def work():
+            attachment = context.attach()
+            attachment.__enter__()
+            obs.span("leaked").__enter__()      # never exited
+            attachment.__exit__(None, None, None)
+            # after release this thread starts fresh roots again
+            with obs.span("after"):
+                pass
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        assert "after" in {s.name for s in collector.roots}
+
+    def test_concurrent_children_all_attach(self):
+        collector = obs.install()
+        with obs.span("client") as client:
+            context = obs.capture()
+
+            def work(index: int) -> None:
+                with context.attach():
+                    with obs.span("child", index=index):
+                        pass
+
+            threads = [
+                threading.Thread(target=work, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(collector.roots) == 1
+        indexes = {c.attributes["index"] for c in client.children}
+        assert indexes == set(range(8))
+
+
+class TestWrap:
+    def test_wrap_carries_context(self):
+        collector = obs.install()
+        with obs.span("client"):
+            def work():
+                with obs.span("wrapped"):
+                    pass
+
+            thread = threading.Thread(target=obs.wrap(work))
+            thread.start()
+            thread.join()
+        assert len(collector.roots) == 1
+        assert [c.name for c in collector.roots[0].children] == ["wrapped"]
+
+    def test_wrap_without_collector_calls_through(self):
+        calls = []
+        obs.wrap(lambda: calls.append(1))()
+        assert calls == [1]

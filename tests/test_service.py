@@ -328,3 +328,33 @@ class TestResultCache:
         cache.put(KEY, make_run())
         assert cache.keys() == [KEY]
         assert len(cache) == 1
+
+
+# ----------------------------------------------------------------------
+# worker pool crash accounting
+# ----------------------------------------------------------------------
+class TestWorkerCrashCounter:
+    def test_crash_increments_counter_with_exc_type(self):
+        from repro.service import WorkerPool
+
+        collector = obs.install()
+        queue = JobQueue(maxsize=4)
+        crashed = threading.Event()
+
+        def execute(job: object) -> None:
+            crashed.set()
+            raise KeyError("execute callback exploded")
+
+        pool = WorkerPool(queue, execute, workers=1)
+        pool.start()
+        queue.put(object())
+        assert crashed.wait(timeout=10)
+        queue.close()
+        pool.join(timeout=10)
+        counter = collector.metrics.counter("service.worker_crashes")
+        # the crash is labelled by exception type, so dashboards can
+        # tell a KeyError storm from a timeout storm
+        assert counter.value(exc_type="KeyError") == 1
+        assert counter.total() == 1
+        # and the worker survived to report as cleanly exited, not dead
+        assert pool.alive == 0
