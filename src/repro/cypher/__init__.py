@@ -26,6 +26,14 @@ from repro.cypher.linter import (
     looks_like_regex,
 )
 from repro.cypher.parser import parse
+from repro.cypher.planner import (
+    PlanCache,
+    QueryPlan,
+    QueryPlanner,
+    clear_plan_caches,
+    default_planner,
+    explain,
+)
 from repro.cypher.render import render_expression, render_query
 
 __all__ = [
@@ -38,9 +46,15 @@ __all__ = [
     "Linter",
     "LintIssue",
     "LintReport",
+    "PlanCache",
+    "QueryPlan",
+    "QueryPlanner",
     "QueryResult",
     "UnknownFunctionError",
+    "clear_plan_caches",
+    "default_planner",
     "execute",
+    "explain",
     "lint",
     "looks_like_regex",
     "parse",

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Sequence
+from functools import lru_cache
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
 from repro import obs
 from repro.cypher.ast_nodes import (
@@ -36,15 +37,25 @@ from repro.cypher.ast_nodes import (
     Variable,
     WithClause,
 )
-from repro.cypher.errors import CypherSemanticError, CypherTypeError
+from repro.cypher.errors import (
+    CypherError,
+    CypherSemanticError,
+    CypherTypeError,
+)
 from repro.cypher.evaluator import EvalContext, contains_aggregate, evaluate
 from repro.cypher.functions import aggregate, is_aggregate
-from repro.cypher.matcher import Path, match_patterns
+from repro.cypher.matcher import MatchStats, Path, match_patterns
 from repro.cypher.parser import parse
 from repro.graph.model import Edge, Node
 from repro.graph.store import PropertyGraph
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cypher.planner import ClausePlan, QueryPlan, QueryPlanner
+
 Row = dict[str, object]
+
+#: sentinel meaning "use the process-wide default planner"
+_DEFAULT = object()
 
 
 @dataclass
@@ -216,18 +227,42 @@ class Executor:
         self,
         graph: PropertyGraph,
         parameters: Mapping[str, object] | None = None,
+        planner: "QueryPlanner | None | object" = _DEFAULT,
     ) -> None:
         self.graph = graph
         self.parameters = dict(parameters or {})
+        if planner is _DEFAULT:
+            from repro.cypher.planner import default_planner
+
+            planner = default_planner()
+        # escape hatch: Executor(graph, planner=None) runs unplanned
+        self.planner: "QueryPlanner | None" = planner
 
     # ------------------------------------------------------------------
-    def run(self, query: Query) -> QueryResult:
-        if isinstance(query, UnionQuery):
-            return self._run_union(query)
-        return self._run_single(query)
+    def _plan(self, query: Query) -> "QueryPlan | None":
+        if self.planner is None:
+            return None
+        try:
+            return self.planner.plan(query, self.graph)
+        except Exception:
+            # a planning bug must never break a query; fall back to the
+            # unplanned pipeline and record that it happened
+            obs.inc("planner.errors")
+            return None
 
-    def _run_union(self, query: UnionQuery) -> QueryResult:
-        results = [self._run_single(sub) for sub in query.queries]
+    def run(self, query: Query) -> QueryResult:
+        plan = self._plan(query)
+        if isinstance(query, UnionQuery):
+            return self._run_union(query, plan)
+        return self._run_single(query, plan)
+
+    def _run_union(
+        self, query: UnionQuery, plan: "QueryPlan | None" = None
+    ) -> QueryResult:
+        results = [
+            self._run_single(sub, plan, branch)
+            for branch, sub in enumerate(query.queries)
+        ]
         columns = results[0].columns
         for result in results[1:]:
             if result.columns != columns:
@@ -247,13 +282,23 @@ class Executor:
                     rows.append(row)
         return QueryResult(columns=columns, rows=rows)
 
-    def _run_single(self, query: SingleQuery) -> QueryResult:
+    def _run_single(
+        self,
+        query: SingleQuery,
+        plan: "QueryPlan | None" = None,
+        branch: int = 0,
+    ) -> QueryResult:
         rows: list[Row] = [{}]
         columns: list[str] = []
         self._stats: dict[str, int] = {}
-        for clause in query.clauses:
+        for clause_index, clause in enumerate(query.clauses):
             if isinstance(clause, MatchClause):
-                rows = list(self._apply_match(clause, rows))
+                clause_plan = (
+                    plan.clause_plan(branch, clause_index)
+                    if plan is not None
+                    else None
+                )
+                rows = list(self._apply_match(clause, rows, clause_plan))
             elif isinstance(clause, UnwindClause):
                 rows = list(self._apply_unwind(clause, rows))
             elif isinstance(clause, CreateClause):
@@ -505,24 +550,81 @@ class Executor:
         )
 
     def _apply_match(
-        self, clause: MatchClause, rows: Iterable[Row]
+        self,
+        clause: MatchClause,
+        rows: Iterable[Row],
+        clause_plan: "ClausePlan | None" = None,
     ) -> Iterable[Row]:
         pattern_variables = self._pattern_variables(clause)
-        for row in rows:
-            matched_any = False
-            for bindings in match_patterns(
-                self.graph, clause.patterns, dict(row)
-            ):
-                if clause.where is not None:
-                    if evaluate(clause.where, self._ctx(bindings)) is not True:
-                        continue
-                matched_any = True
-                yield bindings
-            if clause.optional and not matched_any:
-                padded = dict(row)
-                for variable in pattern_variables:
-                    padded.setdefault(variable, None)
-                yield padded
+        stats = MatchStats()
+        matched_total = 0
+        try:
+            for row in rows:
+                matched_any = False
+                for bindings in self._match_row(
+                    clause, clause_plan, row, stats
+                ):
+                    matched_any = True
+                    matched_total += 1
+                    yield bindings
+                if clause.optional and not matched_any:
+                    padded = dict(row)
+                    for variable in pattern_variables:
+                        padded.setdefault(variable, None)
+                    yield padded
+        finally:
+            obs.inc("matcher.seeds", stats.seeds)
+            obs.inc("matcher.expansions", stats.expansions)
+            if clause_plan is not None:
+                obs.observe("planner.estimated_rows", clause_plan.estimate)
+                obs.observe("planner.actual_rows", matched_total)
+
+    def _match_row(
+        self,
+        clause: MatchClause,
+        clause_plan: "ClausePlan | None",
+        row: Row,
+        stats: MatchStats,
+    ) -> Iterable[Row]:
+        """Matches of one input row, WHERE already applied."""
+        if clause_plan is not None:
+            try:
+                prefilter_ok = all(
+                    evaluate(predicate, self._ctx(row)) is True
+                    for predicate in clause_plan.prefilter
+                )
+            except CypherError:
+                # legacy semantics raise such errors only on rows that
+                # have at least one pattern match; re-run unplanned so
+                # the error surfaces with identical timing (or not at
+                # all, when nothing matches)
+                clause_plan = None
+            else:
+                if not prefilter_ok:
+                    return
+                for bindings in match_patterns(
+                    self.graph,
+                    clause.patterns,
+                    dict(row),
+                    plan=clause_plan,
+                    parameters=self.parameters,
+                    stats=stats,
+                ):
+                    if clause_plan.residual is not None:
+                        residual = evaluate(
+                            clause_plan.residual, self._ctx(bindings)
+                        )
+                        if residual is not True:
+                            continue
+                    yield bindings
+                return
+        for bindings in match_patterns(
+            self.graph, clause.patterns, dict(row), stats=stats
+        ):
+            if clause.where is not None:
+                if evaluate(clause.where, self._ctx(bindings)) is not True:
+                    continue
+            yield bindings
 
     @staticmethod
     def _pattern_variables(clause: MatchClause) -> list[str]:
@@ -719,6 +821,15 @@ class _InvertedKey:
         return isinstance(other, _InvertedKey) and self.key == other.key
 
 
+@lru_cache(maxsize=512)
+def _parse_cached(query_text: str) -> Query:
+    """Parse with memoization (ASTs are immutable, so sharing is safe).
+
+    Raising parses are not cached — ``lru_cache`` only stores returns.
+    """
+    return parse(query_text)
+
+
 def execute(
     graph: PropertyGraph,
     query_text: str,
@@ -727,7 +838,7 @@ def execute(
     """Parse and execute ``query_text`` against ``graph``."""
     with obs.span("cypher.execute") as sp:
         started = time.perf_counter()
-        query = parse(query_text)
+        query = _parse_cached(query_text)
         result = Executor(graph, parameters).run(query)
         elapsed = time.perf_counter() - started
         sp.set_attribute("rows", len(result.rows))

@@ -9,18 +9,69 @@ Implements Cypher's matching semantics for the supported subset:
   cannot be traversed twice, Cypher's "relationship isomorphism");
 * re-use of already-bound variables (joins across patterns and clauses).
 
-Matching is a depth-first search seeded from the cheapest available index
-(bound variable, then label index, then full scan).
+Matching is a depth-first search.  By default it seeds from the cheapest
+statically-known index (bound variable, then label index, then full
+scan); the cost-based planner in :mod:`repro.cypher.planner` can instead
+supply a :class:`SeedSpec` per pattern (property-index lookups, cheapest
+label) plus per-position predicate *checks* — WHERE conjuncts pushed
+down to the earliest DFS step where their variables are bound.
+
+Relationship uniqueness is enforced with a single mutable set of used
+edge ids threaded through the DFS (O(1) membership, add on descent,
+discard on backtrack) rather than copying the set at every step.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
-from repro.cypher.ast_nodes import NodePattern, PathPattern, RelPattern
-from repro.cypher.errors import CypherSemanticError
+from repro.cypher.ast_nodes import (
+    Expression,
+    NodePattern,
+    PathPattern,
+    RelPattern,
+)
+from repro.cypher.errors import CypherError, CypherSemanticError
 from repro.graph.model import Edge, Node
-from repro.graph.store import PropertyGraph
+from repro.graph.store import PropertyGraph, property_index_key
+
+#: ``checks`` maps a node-element index (0, 2, 4, ...) to the pushed-down
+#: predicates to evaluate once that element (and its preceding
+#: relationship) is bound
+Checks = Mapping[int, Sequence[Expression]]
+
+
+@dataclass(frozen=True)
+class SeedSpec:
+    """How to enumerate candidate start nodes for one path pattern.
+
+    ``kind`` is ``"bound"`` (variable already bound), ``"index"``
+    (property-index lookup on ``(label, key) = value``), ``"label"``
+    (label-index scan, not necessarily the pattern's first label) or
+    ``"scan"`` (all nodes).  Seeds are advisory: the matcher re-verifies
+    every candidate against the full pattern, and an index seed whose
+    value turns out unindexable (null, list) or unevaluable falls back
+    to the label scan, so a stale or wrong seed can never change results.
+    """
+
+    kind: str
+    label: str | None = None
+    key: str | None = None
+    value: Expression | None = None
+
+
+class MatchStats:
+    """Mutable node-expansion counters for one match run."""
+
+    __slots__ = ("seeds", "expansions")
+
+    def __init__(self) -> None:
+        self.seeds = 0       # candidate start nodes enumerated
+        self.expansions = 0  # (edge, neighbour) pairs considered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MatchStats(seeds={self.seeds}, expansions={self.expansions})"
 
 
 class Path:
@@ -93,24 +144,82 @@ def _properties_match(
     return True
 
 
+def _checks_pass(
+    predicates: Sequence[Expression] | None,
+    graph: PropertyGraph,
+    bindings: Mapping[str, object],
+    parameters: Mapping[str, object] | None,
+) -> bool:
+    """Evaluate pushed-down conjuncts; all must be exactly True.
+
+    The planner only pushes conjuncts that evaluate to a boolean or
+    null, so ``is True`` here matches the ternary semantics the full
+    WHERE would have applied after matching.
+    """
+    if not predicates:
+        return True
+    from repro.cypher.evaluator import EvalContext, evaluate
+
+    ctx = EvalContext(
+        graph=graph, parameters=parameters or {}, bindings=dict(bindings)
+    )
+    return all(evaluate(pred, ctx) is True for pred in predicates)
+
+
+def _seed_source(
+    graph: PropertyGraph,
+    pattern: NodePattern,
+    seed: SeedSpec | None,
+    bindings: Mapping[str, object],
+    parameters: Mapping[str, object] | None,
+) -> Iterator[Node]:
+    """The raw candidate-node source chosen by the seed spec (candidates
+    are still verified with :func:`_node_satisfies` afterwards)."""
+    if seed is not None and seed.kind == "index":
+        from repro.cypher.evaluator import EvalContext, evaluate
+
+        ctx = EvalContext(
+            graph=graph, parameters=parameters or {},
+            bindings=dict(bindings),
+        )
+        try:
+            value = evaluate(seed.value, ctx)
+        except CypherError:
+            value = None  # unevaluable now; fall back to the label scan
+        if value is not None and property_index_key(value) is not None:
+            return graph.nodes_where(seed.label, seed.key, value)
+        return graph.nodes(label=seed.label)
+    if seed is not None and seed.kind == "label":
+        return graph.nodes(label=seed.label)
+    if seed is not None and seed.kind == "scan":
+        return graph.nodes()
+    # default: the pattern's first label index, else a full scan
+    if pattern.labels:
+        return graph.nodes(label=pattern.labels[0])
+    return graph.nodes()
+
+
 def _candidate_nodes(
     graph: PropertyGraph,
     pattern: NodePattern,
     bindings: Mapping[str, object],
+    seed: SeedSpec | None = None,
+    parameters: Mapping[str, object] | None = None,
+    stats: MatchStats | None = None,
 ) -> Iterator[Node]:
     """Candidates for a node pattern, using the best index available."""
     if pattern.variable and pattern.variable in bindings:
         bound = bindings[pattern.variable]
+        if stats is not None:
+            stats.seeds += 1
         if isinstance(bound, Node) and _node_satisfies(
             graph, bound, pattern, bindings
         ):
             yield bound
         return
-    if pattern.labels:
-        source = graph.nodes(label=pattern.labels[0])
-    else:
-        source = graph.nodes()
-    for node in source:
+    for node in _seed_source(graph, pattern, seed, bindings, parameters):
+        if stats is not None:
+            stats.seeds += 1
         if _node_satisfies(graph, node, pattern, bindings):
             yield node
 
@@ -139,8 +248,16 @@ def _match_path_elements(
     bindings: dict[str, object],
     used_edges: set[str],
     trail: list[object],
+    checks: Checks,
+    parameters: Mapping[str, object] | None,
+    stats: MatchStats | None,
 ) -> Iterator[tuple[dict[str, object], set[str], list[object]]]:
-    """Recursive DFS over one path's remaining (rel, node) element pairs."""
+    """Recursive DFS over one path's remaining (rel, node) element pairs.
+
+    ``used_edges`` is shared and mutated in place: edges are added on
+    descent and discarded on backtrack, giving O(1) uniqueness checks.
+    At every yield point it holds exactly the edges of the partial match.
+    """
     if index >= len(elements):
         yield bindings, used_edges, trail
         return
@@ -150,6 +267,8 @@ def _match_path_elements(
 
     if not rel.is_variable_length:
         for edge, neighbour in _expand(graph, current, rel):
+            if stats is not None:
+                stats.expansions += 1
             if edge.id in used_edges:
                 continue
             if not _edge_satisfies(graph, edge, rel, bindings):
@@ -172,34 +291,47 @@ def _match_path_elements(
                 new_bindings[rel.variable] = edge
             if next_node_pattern.variable:
                 new_bindings[next_node_pattern.variable] = neighbour
-            yield from _match_path_elements(
-                graph, elements, index + 2, neighbour,
-                new_bindings, used_edges | {edge.id},
-                trail + [edge, neighbour],
-            )
+            if not _checks_pass(
+                checks.get(index + 1), graph, new_bindings, parameters
+            ):
+                continue
+            used_edges.add(edge.id)
+            try:
+                yield from _match_path_elements(
+                    graph, elements, index + 2, neighbour,
+                    new_bindings, used_edges,
+                    trail + [edge, neighbour],
+                    checks, parameters, stats,
+                )
+            finally:
+                used_edges.discard(edge.id)
         return
 
-    # variable-length expansion: DFS up to max_hops
+    # variable-length expansion: DFS up to max_hops, sharing the same
+    # mutable used-edge set (its edges are held while descending)
     def walk(
         node: Node,
         hops: int,
         edges_so_far: list[Edge],
-        used: set[str],
-    ) -> Iterator[tuple[list[Edge], Node, set[str]]]:
+    ) -> Iterator[tuple[list[Edge], Node]]:
         if hops >= rel.min_hops:
-            yield edges_so_far, node, used
+            yield edges_so_far, node
         if hops >= rel.max_hops:
             return
         for edge, neighbour in _expand(graph, node, rel):
-            if edge.id in used:
+            if stats is not None:
+                stats.expansions += 1
+            if edge.id in used_edges:
                 continue
             if not _edge_satisfies(graph, edge, rel, bindings):
                 continue
-            yield from walk(
-                neighbour, hops + 1, edges_so_far + [edge], used | {edge.id}
-            )
+            used_edges.add(edge.id)
+            try:
+                yield from walk(neighbour, hops + 1, edges_so_far + [edge])
+            finally:
+                used_edges.discard(edge.id)
 
-    for edges, endpoint, used in walk(current, 0, [], used_edges):
+    for edges, endpoint in walk(current, 0, []):
         if not _node_satisfies(graph, endpoint, next_node_pattern, bindings):
             continue
         if (
@@ -214,13 +346,21 @@ def _match_path_elements(
             new_bindings[rel.variable] = list(edges)
         if next_node_pattern.variable:
             new_bindings[next_node_pattern.variable] = endpoint
+        if not _checks_pass(
+            checks.get(index + 1), graph, new_bindings, parameters
+        ):
+            continue
         new_trail = list(trail)
         for edge in edges:
             new_trail.append(edge)
         new_trail.append(endpoint)
+        # the walk generator is suspended here still holding its edges
+        # in used_edges, which is exactly the uniqueness state the rest
+        # of the path must see
         yield from _match_path_elements(
             graph, elements, index + 2, endpoint,
-            new_bindings, used, new_trail,
+            new_bindings, used_edges, new_trail,
+            checks, parameters, stats,
         )
 
 
@@ -229,20 +369,35 @@ def match_path(
     pattern: PathPattern,
     bindings: dict[str, object],
     used_edges: set[str],
+    *,
+    seed: SeedSpec | None = None,
+    checks: Checks | None = None,
+    parameters: Mapping[str, object] | None = None,
+    stats: MatchStats | None = None,
 ) -> Iterator[tuple[dict[str, object], set[str]]]:
-    """Yield all (bindings, used_edges) extensions matching one path."""
+    """Yield all (bindings, used_edges) extensions matching one path.
+
+    ``used_edges`` is mutated in place during iteration and restored on
+    exhaustion; at each yield it holds the edges of the current match.
+    """
     if not pattern.elements:
         return
     first = pattern.elements[0]
     if not isinstance(first, NodePattern):
         raise CypherSemanticError("path pattern must start with a node")
-    for start in _candidate_nodes(graph, first, bindings):
+    checks = checks or {}
+    for start in _candidate_nodes(
+        graph, first, bindings, seed, parameters, stats
+    ):
         start_bindings = dict(bindings)
         if first.variable:
             start_bindings[first.variable] = start
+        if not _checks_pass(checks.get(0), graph, start_bindings, parameters):
+            continue
         for final_bindings, final_used, trail in _match_path_elements(
             graph, pattern.elements, 1, start,
-            start_bindings, set(used_edges), [start],
+            start_bindings, used_edges, [start],
+            checks, parameters, stats,
         ):
             if pattern.variable:
                 final_bindings = dict(final_bindings)
@@ -254,26 +409,42 @@ def match_patterns(
     graph: PropertyGraph,
     patterns: Sequence[PathPattern],
     bindings: dict[str, object],
+    *,
+    plan: object | None = None,
+    parameters: Mapping[str, object] | None = None,
+    stats: MatchStats | None = None,
 ) -> Iterator[dict[str, object]]:
     """Match a comma-separated pattern list (one MATCH clause).
 
     Relationship uniqueness applies across all patterns of the clause.
+    With a ``plan`` (a :class:`repro.cypher.planner.ClausePlan` or any
+    object exposing ``steps`` of (pattern, seed, checks)), the planned
+    pattern order, orientations, seeds and pushed-down checks are used
+    instead of the written order; ``patterns`` is then ignored.
     """
+    if plan is not None:
+        steps = tuple(
+            (step.pattern, step.seed, step.checks) for step in plan.steps
+        )
+    else:
+        steps = tuple((pattern, None, None) for pattern in patterns)
+    used_edges: set[str] = set()
 
     def recurse(
         index: int,
         current_bindings: dict[str, object],
-        used_edges: set[str],
     ) -> Iterator[dict[str, object]]:
-        if index >= len(patterns):
+        if index >= len(steps):
             yield current_bindings
             return
-        for new_bindings, new_used in match_path(
-            graph, patterns[index], current_bindings, used_edges
+        pattern, seed, checks = steps[index]
+        for new_bindings, _used in match_path(
+            graph, pattern, current_bindings, used_edges,
+            seed=seed, checks=checks, parameters=parameters, stats=stats,
         ):
-            yield from recurse(index + 1, new_bindings, new_used)
+            yield from recurse(index + 1, new_bindings)
 
-    yield from recurse(0, bindings, set())
+    yield from recurse(0, bindings)
 
 
 def pattern_exists(

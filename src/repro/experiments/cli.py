@@ -18,6 +18,11 @@ Usage::
     # offline trace intelligence + the perf-regression gate
     repro-experiments profile trace.jsonl --attr rule
     repro-experiments perf --compare benchmarks/baselines/perf_smoke.json
+
+    # cost-based planner introspection
+    repro-experiments explain "MATCH (t:Team)<-[:PART_OF]-(p) RETURN p"
+    repro-experiments explain --dataset twitter "MATCH ..."
+    repro-experiments analyze --explain   # plans of sampled mined queries
 """
 
 from __future__ import annotations
@@ -225,9 +230,79 @@ def serve_main(argv: list[str]) -> int:
     return 1 if failed else 0
 
 
+# ----------------------------------------------------------------------
+# explain: cost-based planner introspection
+# ----------------------------------------------------------------------
+def explain_main(argv: list[str]) -> int:
+    """Render the planner's EXPLAIN tree for one query."""
+    from repro.cypher import CypherError, explain, parse
+    from repro.datasets import registry
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments explain",
+        description=(
+            "Show the cost-based query plan (seed choice, join order, "
+            "pushed predicates, cardinality estimates) for a Cypher "
+            "query against one of the study graphs."
+        ),
+    )
+    parser.add_argument("query", help="Cypher query text to plan")
+    parser.add_argument(
+        "--dataset", choices=DATASET_NAMES, default="cybersecurity",
+        help="graph to plan against (default: cybersecurity)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="dataset generation seed (default: the study seed)",
+    )
+    args = parser.parse_args(argv)
+
+    dataset = registry.load(args.dataset, seed=args.seed)
+    try:
+        query = parse(args.query)
+    except CypherError as error:
+        print(f"cannot parse query: {error}", file=sys.stderr)
+        return 1
+    print(explain(query, dataset.graph))
+    return 0
+
+
+def _explain_mined_queries(
+    runner: ExperimentRunner, per_dataset: int = 3
+) -> str:
+    """EXPLAIN trees for a sample of final mined queries per dataset."""
+    from repro.cypher import CypherError, explain, parse
+    from repro.datasets import registry
+
+    sections: list[str] = []
+    for dataset in DATASET_NAMES:
+        graph = registry.load(dataset).graph
+        shown = 0
+        seen: set[str] = set()
+        for run in runner.run_dataset(dataset):
+            for result in run.results:
+                if shown >= per_dataset:
+                    break
+                text = result.outcome.final_query
+                if not text or text in seen:
+                    continue
+                seen.add(text)
+                try:
+                    tree = explain(parse(text), graph)
+                except CypherError:
+                    continue  # unparsable mined query; census covers it
+                sections.append(f"-- {dataset}: {text}\n{tree}")
+                shown += 1
+            if shown >= per_dataset:
+                break
+    return "\n\n".join(sections)
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "explain":
+        return explain_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
     if argv and argv[0] == "profile":
@@ -249,8 +324,8 @@ def main(argv: list[str] | None = None) -> int:
         "targets", nargs="*", default=["all"],
         help=(
             f"what to regenerate: {', '.join(TARGETS)} — or the "
-            "'serve', 'profile' and 'perf' subcommands (see: "
-            "repro-experiments <subcommand> --help)"
+            "'serve', 'profile', 'perf' and 'explain' subcommands "
+            "(see: repro-experiments <subcommand> --help)"
         ),
     )
     parser.add_argument(
@@ -265,6 +340,13 @@ def main(argv: list[str] | None = None) -> int:
         "--trace-out", metavar="PATH", default=None,
         help="write the JSONL span/metric trace to PATH (implies --obs)",
     )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help=(
+            "with the 'analyze' target: also print the planner's "
+            "EXPLAIN tree for a sample of final mined queries"
+        ),
+    )
     args = parser.parse_args(argv)
 
     requested = args.targets or ["all"]
@@ -275,6 +357,8 @@ def main(argv: list[str] | None = None) -> int:
             )
     if "all" in requested:
         requested = [t for t in TARGETS if t != "all"]
+    if args.explain and "analyze" not in requested:
+        parser.error("--explain requires the 'analyze' target")
 
     collector = None
     if args.obs or args.trace_out:
@@ -282,6 +366,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         runner = ExperimentRunner(base_seed=args.seed)
         outputs = [emit(target, runner) for target in requested]
+        if args.explain:
+            outputs.append(_explain_mined_queries(runner))
         print("\n\n".join(outputs))
         if collector is not None:
             print()

@@ -71,6 +71,12 @@ def _profile_shell(seed: int) -> dict:
 
 def collect_profile(seed: int = 0) -> dict:
     """Run the gate workload under a fresh collector and profile it."""
+    from repro.cypher import clear_plan_caches
+
+    # start from a cold plan cache: the dataset registry reuses graph
+    # instances in-process, so a second profile in the same process
+    # would otherwise see warm plans and different planner.* counters
+    clear_plan_caches()
     previous = obs.get_collector()
     collector = obs.TraceCollector()
     obs.install(collector)

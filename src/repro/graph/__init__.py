@@ -22,15 +22,24 @@ from repro.graph.schema import (
     PropertyProfile,
     infer_schema,
 )
-from repro.graph.statistics import GraphStatistics, compute_statistics
+from repro.graph.statistics import (
+    EdgeLabelStats,
+    GraphCatalog,
+    GraphStatistics,
+    PropertySketch,
+    build_catalog,
+    compute_statistics,
+)
 from repro.graph.store import PropertyGraph
 
 __all__ = [
     "DanglingEdgeError",
     "DuplicateElementError",
     "Edge",
+    "EdgeLabelStats",
     "ElementNotFoundError",
     "EndpointSignature",
+    "GraphCatalog",
     "GraphError",
     "GraphSchema",
     "GraphStatistics",
@@ -39,6 +48,8 @@ __all__ = [
     "Node",
     "PropertyGraph",
     "PropertyProfile",
+    "PropertySketch",
+    "build_catalog",
     "build_graph",
     "compute_statistics",
     "graph_from_dict",

@@ -1,18 +1,21 @@
 """Indexed in-memory property-graph store.
 
 This is the reproduction's substitute for Neo4j: a directed multigraph with
-secondary indexes on node labels, edge labels and adjacency, sufficient to
-back the Cypher interpreter in :mod:`repro.cypher` with index-backed scans.
+secondary indexes on node labels, edge labels, adjacency and — for the
+query planner — per-(label, property) hash indexes, sufficient to back the
+Cypher interpreter in :mod:`repro.cypher` with index-backed scans.
 
 Mutation is node/edge-at-a-time (the study never needs transactions); all
 read paths return stable, deterministic orderings so that experiments are
-bit-for-bit reproducible.
+bit-for-bit reproducible.  Every mutation bumps a monotonic *epoch*, which
+the planner's statistics catalog and plan cache use for invalidation.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import defaultdict
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.graph.errors import (
     DanglingEdgeError,
@@ -21,9 +24,37 @@ from repro.graph.errors import (
 )
 from repro.graph.model import Edge, Node, Properties
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.statistics import GraphCatalog
+
+#: process-unique tokens so two graphs never share a plan-cache key, even
+#: if one is garbage-collected and the other reuses its memory address
+_GRAPH_TOKENS = itertools.count(1)
+
+
+def property_index_key(value: object) -> object | None:
+    """Normalize a property value into a hash-index key.
+
+    Cypher equality treats ``2`` and ``2.0`` as equal but ``true`` and
+    ``1`` as different, while Python's dict hashing conflates all three;
+    the type tag keeps the index faithful to Cypher semantics.  ``None``
+    (no index entry — a null property never equals anything) is returned
+    for null and for unindexable values (lists, NaN).
+    """
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, (int, float)):
+        if value != value:  # NaN never equals itself
+            return None
+        return ("n", float(value))
+    if isinstance(value, str):
+        return ("s", value)
+    return None
+
 
 class PropertyGraph:
-    """A directed property multigraph with label and adjacency indexes."""
+    """A directed property multigraph with label, adjacency and property
+    indexes."""
 
     def __init__(self, name: str = "graph") -> None:
         self.name = name
@@ -35,6 +66,39 @@ class PropertyGraph:
         # node id -> ordered set of incident edge ids
         self._out_edges: dict[str, dict[str, None]] = defaultdict(dict)
         self._in_edges: dict[str, dict[str, None]] = defaultdict(dict)
+        # (label, property key) -> index key -> ordered set of node ids
+        self._property_index: dict[
+            tuple[str, str], dict[object, dict[str, None]]
+        ] = defaultdict(lambda: defaultdict(dict))
+        self._token = next(_GRAPH_TOKENS)
+        self._epoch = 0
+        self._catalog_cache: tuple[int, "GraphCatalog"] | None = None
+
+    # ------------------------------------------------------------------
+    # versioning
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter; any write increments it."""
+        return self._epoch
+
+    def fingerprint(self) -> tuple[int, int]:
+        """A process-unique (graph, version) key for plan/stat caches."""
+        return (self._token, self._epoch)
+
+    def _touch(self) -> None:
+        self._epoch += 1
+
+    def catalog(self) -> "GraphCatalog":
+        """The planner-grade statistics catalog, cached per epoch."""
+        cached = self._catalog_cache
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        from repro.graph.statistics import build_catalog
+
+        catalog = build_catalog(self)
+        self._catalog_cache = (self._epoch, catalog)
+        return catalog
 
     # ------------------------------------------------------------------
     # mutation
@@ -52,6 +116,8 @@ class PropertyGraph:
         self._nodes[node.id] = node
         for label in node.labels:
             self._nodes_by_label[label][node.id] = None
+        self._index_node_properties(node)
+        self._touch()
         return node
 
     def add_edge(
@@ -73,20 +139,26 @@ class PropertyGraph:
         self._edges_by_label[edge.label][edge.id] = None
         self._out_edges[edge.src][edge.id] = None
         self._in_edges[edge.dst][edge.id] = None
+        self._touch()
         return edge
 
     def update_node(self, node_id: str, properties: Properties) -> Node:
         """Merge ``properties`` into an existing node."""
         node = self.node(node_id)
+        self._deindex_node_properties(node, properties.keys())
         updated = node.with_properties(properties)
         self._nodes[node_id] = updated
+        self._index_node_properties(updated, properties.keys())
+        self._touch()
         return updated
 
     def remove_node_property(self, node_id: str, key: str) -> Node:
         """Drop a property from an existing node (no-op if absent)."""
         node = self.node(node_id)
+        self._deindex_node_properties(node, (key,))
         updated = node.without_property(key)
         self._nodes[node_id] = updated
+        self._touch()
         return updated
 
     def update_edge(self, edge_id: str, properties: Properties) -> Edge:
@@ -94,6 +166,7 @@ class PropertyGraph:
         edge = self.edge(edge_id)
         updated = edge.with_properties(properties)
         self._edges[edge_id] = updated
+        self._touch()
         return updated
 
     def remove_edge(self, edge_id: str) -> None:
@@ -103,6 +176,7 @@ class PropertyGraph:
         self._edges_by_label[edge.label].pop(edge_id, None)
         self._out_edges[edge.src].pop(edge_id, None)
         self._in_edges[edge.dst].pop(edge_id, None)
+        self._touch()
 
     def remove_node(self, node_id: str) -> None:
         """Delete a node along with all of its incident edges."""
@@ -118,6 +192,42 @@ class PropertyGraph:
             self._nodes_by_label[label].pop(node_id, None)
         self._out_edges.pop(node_id, None)
         self._in_edges.pop(node_id, None)
+        self._deindex_node_properties(node, node.properties.keys())
+        self._touch()
+
+    # ------------------------------------------------------------------
+    # property-index maintenance
+    # ------------------------------------------------------------------
+    def _index_node_properties(
+        self, node: Node, keys: Iterable[str] | None = None
+    ) -> None:
+        for key in (node.properties.keys() if keys is None else keys):
+            if key not in node.properties:
+                continue
+            index_key = property_index_key(node.properties[key])
+            if index_key is None:
+                continue
+            for label in node.labels:
+                self._property_index[(label, key)][index_key][node.id] = None
+
+    def _deindex_node_properties(
+        self, node: Node, keys: Iterable[str]
+    ) -> None:
+        for key in keys:
+            if key not in node.properties:
+                continue
+            index_key = property_index_key(node.properties[key])
+            if index_key is None:
+                continue
+            for label in node.labels:
+                bucket = self._property_index.get((label, key))
+                if bucket is None:
+                    continue
+                entries = bucket.get(index_key)
+                if entries is not None:
+                    entries.pop(node.id, None)
+                    if not entries:
+                        del bucket[index_key]
 
     # ------------------------------------------------------------------
     # lookups
@@ -151,6 +261,35 @@ class PropertyGraph:
             for node_id in self._nodes_by_label.get(label, ()):
                 yield self._nodes[node_id]
 
+    def nodes_where(
+        self, label: str, key: str, value: object
+    ) -> Iterator[Node]:
+        """Nodes with ``label`` whose property ``key`` equals ``value``.
+
+        Backed by the hash property index: O(matches), not O(label).
+        Unindexable values (null, lists, NaN) yield nothing — in Cypher a
+        null property never satisfies an equality predicate, and list
+        equality is handled by the matcher's scan path instead.
+        """
+        index_key = property_index_key(value)
+        if index_key is None:
+            return
+        bucket = self._property_index.get((label, key))
+        if bucket is None:
+            return
+        for node_id in bucket.get(index_key, ()):
+            yield self._nodes[node_id]
+
+    def count_where(self, label: str, key: str, value: object) -> int:
+        """Number of nodes :meth:`nodes_where` would yield (O(1))."""
+        index_key = property_index_key(value)
+        if index_key is None:
+            return 0
+        bucket = self._property_index.get((label, key))
+        if bucket is None:
+            return 0
+        return len(bucket.get(index_key, ()))
+
     def edges(self, label: str | None = None) -> Iterator[Edge]:
         """Iterate edges, optionally restricted to one label (index scan)."""
         if label is None:
@@ -174,13 +313,22 @@ class PropertyGraph:
                 yield edge
 
     def incident_edges(self, node_id: str, label: str | None = None) -> Iterator[Edge]:
-        """All edges touching ``node_id`` in either direction."""
+        """All edges touching ``node_id``; a self-loop is yielded once."""
+        out = self._out_edges.get(node_id, ())
         yield from self.out_edges(node_id, label)
-        yield from self.in_edges(node_id, label)
+        for edge_id in self._in_edges.get(node_id, ()):
+            if edge_id in out:
+                continue  # self-loop, already yielded from the out set
+            edge = self._edges[edge_id]
+            if label is None or edge.label == label:
+                yield edge
 
     def degree(self, node_id: str) -> int:
-        return len(self._out_edges.get(node_id, ())) + len(
-            self._in_edges.get(node_id, ())
+        """Number of distinct incident edges (a self-loop counts once)."""
+        out = self._out_edges.get(node_id, {})
+        incoming = self._in_edges.get(node_id, {})
+        return len(out) + sum(
+            1 for edge_id in incoming if edge_id not in out
         )
 
     # ------------------------------------------------------------------

@@ -128,4 +128,18 @@ class TestMultiLabel:
         g.add_edge("e1", "R", "a", "a")
         assert [e.id for e in g.out_edges("a")] == ["e1"]
         assert [e.id for e in g.in_edges("a")] == ["e1"]
-        assert g.degree("a") == 2
+        # a self-loop is ONE incident edge: degree counts distinct
+        # edges, and incident_edges must not yield it twice
+        assert g.degree("a") == 1
+        assert [e.id for e in g.incident_edges("a")] == ["e1"]
+
+    def test_self_loop_beside_plain_edges(self):
+        g = PropertyGraph()
+        g.add_node("a", "X")
+        g.add_node("b", "X")
+        g.add_edge("loop", "R", "a", "a")
+        g.add_edge("ab", "R", "a", "b")
+        g.add_edge("ba", "S", "b", "a")
+        assert g.degree("a") == 3
+        assert {e.id for e in g.incident_edges("a")} == {"loop", "ab", "ba"}
+        assert [e.id for e in g.incident_edges("a", "R")] == ["loop", "ab"]

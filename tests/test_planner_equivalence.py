@@ -1,0 +1,157 @@
+"""Planner-on vs planner-off equivalence (hypothesis).
+
+The cost-based planner reorders patterns, reverses traversals, seeds
+from property indexes and pushes predicates into the matcher — none of
+which may change the *result*: for every graph and every query in the
+corpus, the planned executor must produce exactly the same row multiset
+as the unplanned one.
+
+Graphs are randomized and small (self-loops, parallel edges and
+multi-label nodes included); queries cover index seeds, join-backs,
+variable-length paths, named paths, OPTIONAL MATCH, undirected
+relationships, multi-pattern joins and parameters.  The corpus sticks
+to WHERE predicates that cannot raise on these graphs, since the
+planner intentionally keeps legacy error *timing* only for rows it
+does not prune.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cypher import Executor, clear_plan_caches, parse
+from repro.cypher.executor import _canonical
+from repro.graph import PropertyGraph
+
+# ----------------------------------------------------------------------
+# graph strategy
+# ----------------------------------------------------------------------
+_LABEL_SETS = (("A",), ("B",), ("A", "B"))
+
+
+@st.composite
+def graphs(draw):
+    node_count = draw(st.integers(min_value=1, max_value=8))
+    nodes = []
+    for index in range(node_count):
+        labels = draw(st.sampled_from(_LABEL_SETS))
+        properties = {}
+        if draw(st.booleans()):
+            properties["p"] = draw(st.integers(min_value=0, max_value=3))
+        if draw(st.booleans()):
+            properties["q"] = draw(st.booleans())
+        nodes.append((f"n{index}", labels, properties))
+    edge_count = draw(st.integers(min_value=0, max_value=2 * node_count))
+    edges = []
+    for number in range(edge_count):
+        src = draw(st.integers(min_value=0, max_value=node_count - 1))
+        dst = draw(st.integers(min_value=0, max_value=node_count - 1))
+        label = draw(st.sampled_from(["R", "S"]))
+        edges.append((f"e{number}", label, f"n{src}", f"n{dst}"))
+    return nodes, edges
+
+
+def build(spec) -> PropertyGraph:
+    nodes, edges = spec
+    graph = PropertyGraph("hyp")
+    for node_id, labels, properties in nodes:
+        graph.add_node(node_id, labels, properties)
+    for edge_id, label, src, dst in edges:
+        graph.add_edge(edge_id, label, src, dst)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# query corpus
+# ----------------------------------------------------------------------
+QUERY_CORPUS = (
+    # index seed from an equality conjunct
+    "MATCH (a:A) WHERE a.p = 1 RETURN a.p AS p",
+    # inline property map seed
+    "MATCH (a:A {p: 2}) RETURN a.q AS q",
+    # plain traversal, both endpoints projected
+    "MATCH (a)-[r:R]->(b) RETURN a.p AS x, b.p AS y",
+    # traversal with a pushable comparison across both ends
+    "MATCH (a:A)-[:R]->(b:B) WHERE a.p > b.p RETURN a.p AS x, b.p AS y",
+    # reversal candidate: selective target end
+    "MATCH (a)-[:R]->(b:B {p: 0}) RETURN a.p AS x",
+    # variable-length with lower/upper bounds
+    "MATCH (a)-[:R*1..3]->(b) WHERE a.p = 1 RETURN b.p AS y",
+    # unbounded variable-length (parser caps hops)
+    "MATCH (a:A)-[:R*]->(b) RETURN b.p AS y",
+    # named variable-length relationship (never reversed)
+    "MATCH (a)-[rs:R*1..2]->(b) RETURN size(rs) AS hops, b.p AS y",
+    # self-loop join-back
+    "MATCH (a)-[:R]->(a) RETURN a.p AS p",
+    # join-back over two hops
+    "MATCH (a)-[:R]->(b)-[:S]->(a) RETURN a.p AS x, b.p AS y",
+    # cartesian join of two patterns with a cross-pattern conjunct
+    "MATCH (a:A), (b:B) WHERE a.p = b.p RETURN a.p AS p",
+    # named path (never reversed)
+    "MATCH q = (a)-[:R]->(b) RETURN a.p AS x, b.p AS y",
+    # OPTIONAL MATCH padding
+    "OPTIONAL MATCH (a:A {p: 3})-[:S]->(b) RETURN a.p AS x, b.p AS y",
+    # bound-variable seed in a second MATCH
+    "MATCH (t:B) MATCH (t)<-[:R]-(s) RETURN s.p AS x, t.p AS y",
+    # undirected relationship
+    "MATCH (a)-[r]-(b) WHERE a.p <= b.p RETURN a.p AS x, b.p AS y",
+    # IN-list and NOT, all pushable
+    "MATCH (a:A) WHERE a.p IN [1, 2, 3] AND NOT a.p = 2 RETURN a.p AS p",
+    # IS NULL / boolean property mix
+    "MATCH (a) WHERE a.q = true AND a.p IS NULL RETURN a.q AS q",
+    # aggregation on top of a planned match
+    "MATCH (a:A)-[:R]->(b) RETURN count(*) AS c",
+    # DISTINCT + ORDER BY downstream of the planner
+    "MATCH (a)-[:R]->(b) RETURN DISTINCT b.p AS y ORDER BY y",
+    # UNION with independently planned branches
+    "MATCH (a:A {p: 1}) RETURN a.p AS v "
+    "UNION MATCH (b:B {p: 2}) RETURN b.p AS v",
+)
+
+
+def row_multiset(result) -> Counter:
+    return Counter(
+        tuple(_canonical(row[column]) for column in result.columns)
+        for row in result.rows
+    )
+
+
+# ----------------------------------------------------------------------
+# the property
+# ----------------------------------------------------------------------
+@given(spec=graphs(), query_index=st.integers(0, len(QUERY_CORPUS) - 1))
+@settings(max_examples=200, deadline=None)
+def test_planned_equals_unplanned(spec, query_index):
+    clear_plan_caches()
+    graph = build(spec)
+    query = parse(QUERY_CORPUS[query_index])
+    planned = Executor(graph).run(query)
+    unplanned = Executor(graph, planner=None).run(query)
+    assert planned.columns == unplanned.columns
+    assert row_multiset(planned) == row_multiset(unplanned)
+
+
+@given(spec=graphs(), value=st.integers(min_value=0, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_parameterized_query_equivalent(spec, value):
+    clear_plan_caches()
+    graph = build(spec)
+    query = parse("MATCH (a:A) WHERE a.p = $v RETURN a.p AS p")
+    parameters = {"v": value}
+    planned = Executor(graph, parameters).run(query)
+    unplanned = Executor(graph, parameters, planner=None).run(query)
+    assert row_multiset(planned) == row_multiset(unplanned)
+
+
+@given(spec=graphs())
+@settings(max_examples=40, deadline=None)
+def test_plan_cache_round_trip_equivalent(spec):
+    """The second (cache-hit) planned run matches the unplanned run."""
+    clear_plan_caches()
+    graph = build(spec)
+    query = parse("MATCH (a:A)-[:R]->(b) WHERE a.p >= 1 RETURN b.p AS y")
+    Executor(graph).run(query)                       # populate the cache
+    planned = Executor(graph).run(query)             # cache hit
+    unplanned = Executor(graph, planner=None).run(query)
+    assert row_multiset(planned) == row_multiset(unplanned)
