@@ -7,6 +7,11 @@ from repro.datasets.registry import (
     clear_cache,
     load,
 )
+from repro.datasets.snapshot import (
+    SnapshotError,
+    load_dataset,
+    save_dataset,
+)
 
 __all__ = [
     "DATASET_NAMES",
@@ -14,6 +19,9 @@ __all__ = [
     "Dataset",
     "DatasetBuilder",
     "DirtReport",
+    "SnapshotError",
     "clear_cache",
     "load",
+    "load_dataset",
+    "save_dataset",
 ]

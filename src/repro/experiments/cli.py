@@ -15,6 +15,11 @@ Usage::
     repro-experiments serve --datasets wwc2019 --methods rag --obs
     repro-experiments serve --telemetry-port 9100   # live /metrics
 
+    # serve mining over HTTP: worker processes + admission control
+    repro-experiments serve --port 8080 --workers 4 \\
+        --cache-dir ~/.repro-cache
+    repro-experiments serve --port 0 --workers 2 --rate 10 --burst 20
+
     # offline trace intelligence + the perf-regression gate
     repro-experiments profile trace.jsonl --attr rule
     repro-experiments perf --compare benchmarks/baselines/perf_smoke.json
@@ -88,8 +93,82 @@ def emit(target: str, runner: ExperimentRunner) -> str:
 
 
 # ----------------------------------------------------------------------
-# serve: grid cells as service jobs
+# serve: grid cells as service jobs, or the HTTP gateway front door
 # ----------------------------------------------------------------------
+def _serve_gateway(args: argparse.Namespace) -> int:
+    """Run the HTTP front door until SIGTERM/SIGINT, then drain."""
+    import signal
+    import tempfile
+    import threading
+
+    from repro.gateway import AdmissionPolicy, Gateway, SpecDefaults
+
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = tempfile.mkdtemp(prefix="repro-gateway-")
+        print(f"no --cache-dir given; using {cache_dir}")
+
+    # the gateway always collects metrics: /metrics is part of its API
+    collector = obs.install()
+    stop = threading.Event()
+
+    def on_signal(signum: int, frame: object) -> None:
+        print(f"received {signal.Signals(signum).name}; draining ...")
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, on_signal)
+
+    gateway = Gateway(
+        cache_dir=cache_dir,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        policy=AdmissionPolicy(
+            rate_per_client=args.rate,
+            burst_per_client=args.burst,
+            max_inflight=args.max_inflight,
+            max_queue_depth=args.queue_depth,
+        ),
+        defaults=SpecDefaults(base_seed=args.seed),
+        max_retries=args.max_retries,
+        drain_timeout=args.drain_timeout,
+    )
+    clean = True
+    try:
+        gateway.start()
+        print(
+            f"gateway: {gateway.url} ({args.workers} worker processes, "
+            f"cache {cache_dir})"
+        )
+        print(
+            "endpoints: POST /jobs  GET /jobs/<id>[/result]  "
+            "POST /jobs/<id>/cancel  GET /stats /healthz /metrics"
+        )
+        stop.wait()
+        clean = gateway.drain(args.drain_timeout)
+        print(
+            "drain complete" if clean
+            else f"drain deadline ({args.drain_timeout}s) exceeded; "
+            "jobs were abandoned",
+        )
+    finally:
+        gateway.stop()
+        if args.trace_out:
+            try:
+                obs.write_jsonl(collector, args.trace_out)
+                print(f"trace written to {args.trace_out}")
+            except OSError as error:
+                print(
+                    f"cannot write trace to {args.trace_out}: {error}",
+                    file=sys.stderr,
+                )
+                clean = False
+        obs.uninstall()
+    return 0 if clean else 1
+
+
 def serve_main(argv: list[str]) -> int:
     """Run a grid slice through :class:`repro.service.MiningService`."""
     from repro.service import JobFailedError, MiningService, RetryPolicy
@@ -97,9 +176,10 @@ def serve_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments serve",
         description=(
-            "Mine a grid slice through the in-process job service: "
-            "worker pool, retry/backoff, and an on-disk result cache "
-            "keyed by graph + code + config."
+            "Mine a grid slice through the in-process job service "
+            "(worker pool, retry/backoff, on-disk result cache keyed "
+            "by graph + code + config) — or, with --port, serve mining "
+            "over HTTP through the multi-process gateway front door."
         ),
     )
     parser.add_argument(
@@ -150,7 +230,48 @@ def serve_main(argv: list[str]) -> int:
             "(0 = ephemeral port; implies --obs)"
         ),
     )
+    gateway_group = parser.add_argument_group(
+        "gateway mode (HTTP front door; activated by --port)"
+    )
+    gateway_group.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help=(
+            "serve job submission over HTTP on this port instead of "
+            "mining a grid slice (0 = ephemeral port)"
+        ),
+    )
+    gateway_group.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address for the gateway (default 127.0.0.1)",
+    )
+    gateway_group.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker *processes* behind the gateway (default 2)",
+    )
+    gateway_group.add_argument(
+        "--rate", type=float, default=50.0, metavar="R",
+        help="admitted jobs/second per client (default 50)",
+    )
+    gateway_group.add_argument(
+        "--burst", type=float, default=100.0, metavar="B",
+        help="instantaneous burst per client (default 100)",
+    )
+    gateway_group.add_argument(
+        "--max-inflight", type=int, default=256, metavar="N",
+        help="accepted-but-unfinished job cap (default 256)",
+    )
+    gateway_group.add_argument(
+        "--queue-depth", type=int, default=128, metavar="N",
+        help="dispatch backlog high-water mark (default 128)",
+    )
+    gateway_group.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="deadline for in-flight work on SIGTERM/SIGINT (default 30)",
+    )
     args = parser.parse_args(argv)
+
+    if args.port is not None:
+        return _serve_gateway(args)
 
     collector = None
     if args.obs or args.trace_out or args.telemetry_port is not None:

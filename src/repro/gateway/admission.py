@@ -1,0 +1,210 @@
+"""Admission control: decide *before* work is queued, shed with a hint.
+
+A front door serving heavy traffic protects itself in layers, each
+cheap enough to run on every request:
+
+1. **per-client token buckets** — a client gets ``rate`` jobs/second
+   with bursts up to ``burst``; beyond that the request is shed with a
+   ``Retry-After`` computed from the bucket's actual refill time;
+2. **bounded in-flight jobs** — accepted-but-unfinished jobs are capped
+   so a slow fleet cannot accumulate unbounded promised work;
+3. **queue-depth backpressure** — once the dispatch backlog crosses the
+   configured high-water mark, new work is shed immediately instead of
+   joining a queue it would time out in.
+
+Shed requests never reach the dispatcher or a worker process; every
+decision is counted (``gateway.admission.*`` via :mod:`repro.obs`, plus
+always-on local totals for ``/stats``).  The clock is injectable so
+tests drive bucket refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro import obs
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "Decision",
+    "TokenBucket",
+]
+
+#: shed reasons, fixed vocabulary (bounded metric label cardinality)
+REASONS = ("rate_limit", "inflight_limit", "queue_full", "draining")
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``try_acquire`` never blocks; on refusal it reports how long until
+    the requested amount would be available — the ``Retry-After`` hint.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0 or burst <= 0:
+            raise ValueError("rate must be >= 0 and burst > 0")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_acquire(self, amount: float = 1.0) -> tuple[bool, float]:
+        """Take ``amount`` tokens; returns ``(ok, retry_after_seconds)``."""
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= amount:
+                self._tokens -= amount
+                return True, 0.0
+            deficit = amount - self._tokens
+            if self.rate <= 0:
+                return False, float("inf")
+            return False, deficit / self.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Limits enforced at the front door."""
+
+    rate_per_client: float = 50.0     # sustained jobs/second per client
+    burst_per_client: float = 100.0   # instantaneous burst per client
+    max_inflight: int = 256           # accepted-but-unfinished jobs
+    max_queue_depth: int = 128        # dispatch backlog high-water mark
+    max_clients: int = 1024           # bucket table bound (LRU-evicted)
+    retry_after_floor: float = 1.0    # minimum Retry-After hint
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str = "ok"
+    retry_after: float = 0.0
+
+
+@dataclass
+class AdmissionStats:
+    """Always-on accounting, independent of the obs collector."""
+
+    admitted: int = 0
+    shed: dict[str, int] = field(
+        default_factory=lambda: {reason: 0 for reason in REASONS}
+    )
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy` to each submission."""
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._last_seen: dict[str, float] = {}
+        self._lock = threading.Lock()
+        self.stats = AdmissionStats()
+
+    # ------------------------------------------------------------------
+    def _bucket(self, client: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self.policy.max_clients:
+                    oldest = min(self._last_seen, key=self._last_seen.get)
+                    self._buckets.pop(oldest, None)
+                    self._last_seen.pop(oldest, None)
+                bucket = TokenBucket(
+                    self.policy.rate_per_client,
+                    self.policy.burst_per_client,
+                    clock=self._clock,
+                )
+                self._buckets[client] = bucket
+            self._last_seen[client] = self._clock()
+            obs.set_gauge("gateway.admission.clients", len(self._buckets))
+            return bucket
+
+    def _hint(self, seconds: float) -> float:
+        if seconds == float("inf"):
+            return max(self.policy.retry_after_floor, 60.0)
+        return max(self.policy.retry_after_floor, seconds)
+
+    def shed(self, reason: str, retry_after: float | None = None) -> Decision:
+        """Record one shed request and produce its refusal decision."""
+        hint = self._hint(
+            retry_after if retry_after is not None
+            else self.policy.retry_after_floor
+        )
+        with self._lock:
+            self.stats.shed[reason] = self.stats.shed.get(reason, 0) + 1
+        obs.inc("gateway.admission.shed", reason=reason)
+        return Decision(admitted=False, reason=reason, retry_after=hint)
+
+    def admit(
+        self, client: str, queue_depth: int, inflight: int
+    ) -> Decision:
+        """One admission check; cheap enough for every request.
+
+        Backpressure limits run before the rate limiter so a saturated
+        fleet does not silently burn the client's token budget on
+        requests that would be shed anyway.
+        """
+        policy = self.policy
+        if queue_depth >= policy.max_queue_depth:
+            return self.shed("queue_full")
+        if inflight >= policy.max_inflight:
+            return self.shed("inflight_limit")
+        ok, retry_after = self._bucket(client).try_acquire()
+        if not ok:
+            return self.shed("rate_limit", retry_after)
+        with self._lock:
+            self.stats.admitted += 1
+        obs.inc("gateway.admission.admitted")
+        return Decision(admitted=True)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict accounting for ``/stats``."""
+        with self._lock:
+            return {
+                "admitted": self.stats.admitted,
+                "shed": dict(self.stats.shed),
+                "shed_total": self.stats.shed_total,
+                "clients": len(self._buckets),
+                "policy": {
+                    "rate_per_client": self.policy.rate_per_client,
+                    "burst_per_client": self.policy.burst_per_client,
+                    "max_inflight": self.policy.max_inflight,
+                    "max_queue_depth": self.policy.max_queue_depth,
+                },
+            }

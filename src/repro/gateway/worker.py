@@ -1,0 +1,237 @@
+"""Worker process entrypoint: ``python -m repro.gateway.worker``.
+
+One worker is one OS process owning one single-threaded
+:class:`~repro.service.MiningService` pointed at the *shared* on-disk
+result cache.  It speaks the line protocol of
+:mod:`repro.gateway.protocol` over stdin/stdout:
+
+* reads ``job`` ops — each names a dataset snapshot file (written by
+  the gateway via :mod:`repro.datasets.snapshot`), the full pipeline
+  spec and the gateway's content-addressed job id;
+* loads the snapshot (cached per dataset name), runs the job through
+  the existing MiningService machinery (retry/backoff, disk cache), and
+  emits a ``done`` event.  A cell another worker process already mined
+  lands as a **cross-process cache hit** — the service finds the entry
+  in the shared cache and never touches a pipeline;
+* exits cleanly on a ``shutdown`` op, stdin EOF, or SIGTERM/SIGINT —
+  all three drain the in-flight job with a deadline before exiting.
+
+Stdout carries protocol lines only; anything human-readable goes to
+stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+from typing import IO
+
+from repro.datasets.base import Dataset
+from repro.datasets.snapshot import load_dataset
+from repro.gateway import protocol
+from repro.service import MiningService, RetryPolicy
+
+__all__ = ["GatewayWorker", "main"]
+
+
+class _DrainRequested(Exception):
+    """Raised out of a signal handler to unwind into the drain path."""
+
+
+class GatewayWorker:
+    """The protocol loop around one in-process MiningService."""
+
+    def __init__(
+        self,
+        cache_dir: str | Path,
+        worker_id: str = "w0",
+        max_retries: int = 3,
+        retry_base_delay: float = 0.5,
+        drain_timeout: float = 30.0,
+        stdin: IO[str] | None = None,
+        stdout: IO[str] | None = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.drain_timeout = drain_timeout
+        self._stdin = stdin if stdin is not None else sys.stdin
+        self._stdout = stdout if stdout is not None else sys.stdout
+        self._cache_dir = Path(cache_dir)
+        self._retry_policy = RetryPolicy(
+            max_retries=max_retries, base_delay=retry_base_delay
+        )
+        self._snapshots: dict[str, str] = {}
+        self._datasets: dict[str, Dataset] = {}
+        self._service: MiningService | None = None
+        self.jobs_handled = 0
+
+    # ------------------------------------------------------------------
+    def _load(self, name: str) -> Dataset:
+        """MiningService loader: datasets come from snapshot files."""
+        try:
+            return self._datasets[name.lower()]
+        except KeyError:
+            raise KeyError(
+                f"worker has no snapshot for dataset {name!r}"
+            ) from None
+
+    def _ensure_service(self) -> MiningService:
+        if self._service is None:
+            self._service = MiningService(
+                cache_dir=self._cache_dir,
+                workers=1,
+                loader=self._load,
+                retry_policy=self._retry_policy,
+            )
+        return self._service
+
+    def _ensure_snapshot(self, name: str, path: str) -> None:
+        """Load (or reload) the dataset behind ``name``.
+
+        A changed snapshot path for a known name means the gateway
+        regenerated the dataset: the old MiningService caches (contexts,
+        fingerprints, warmed pipelines) are stale, so the whole service
+        is rebuilt rather than risk mining against the old graph.
+        """
+        name = name.lower()
+        if self._snapshots.get(name) == path:
+            return
+        dataset = load_dataset(path)
+        if name in self._snapshots and self._service is not None:
+            self._service.shutdown(wait=True, timeout=self.drain_timeout)
+            self._service = None
+        self._snapshots[name] = path
+        self._datasets[name] = dataset
+
+    # ------------------------------------------------------------------
+    def _emit(self, message: dict) -> None:
+        self._stdout.write(protocol.encode_line(message))
+        self._stdout.flush()
+
+    def handle_job(self, message: dict) -> None:
+        job_id = str(message.get("job_id", ""))
+        started = time.monotonic()
+        try:
+            spec = protocol.spec_from_payload(message["spec"])
+            self._ensure_snapshot(spec.dataset, str(message["snapshot"]))
+            service = self._ensure_service()
+            overrides = {
+                "base_seed": spec.base_seed,
+                "window_size": spec.window_size,
+                "overlap": spec.overlap,
+                "rag_chunk_tokens": spec.rag_chunk_tokens,
+                "rag_top_k": spec.rag_top_k,
+            }
+            local_id = service.submit(
+                spec.dataset, spec.model, spec.method, spec.prompt_mode,
+                **overrides,
+            )
+            run = service.result(local_id)
+            status = service.status(local_id)
+        except Exception as error:
+            # JobFailedError, snapshot errors, protocol drift — anything
+            # job-scoped becomes a failed done event, never a dead worker
+            self._emit(protocol.done_event(
+                job_id, ok=False,
+                run_seconds=time.monotonic() - started,
+                error=f"{type(error).__name__}: {error}",
+            ))
+        else:
+            self._emit(protocol.done_event(
+                job_id, ok=True,
+                cache_hit=bool(status["cache_hit"]),
+                attempts=int(status["attempts"]),
+                retries=int(status["retries"]),
+                rules=run.rule_count,
+                run_seconds=time.monotonic() - started,
+                computed_id=local_id,
+            ))
+        finally:
+            self.jobs_handled += 1
+
+    # ------------------------------------------------------------------
+    def _install_signal_handlers(self) -> None:
+        def handler(signum: int, frame: object) -> None:
+            raise _DrainRequested()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                signal.signal(signum, handler)
+            except ValueError:  # not the main thread (tests)
+                return
+
+    def run(self) -> int:
+        """Protocol loop: read ops until shutdown/EOF/signal, drain."""
+        self._install_signal_handlers()
+        self._emit(protocol.ready_event(self.worker_id, os.getpid()))
+        exit_code = 0
+        try:
+            while True:
+                line = self._stdin.readline()
+                if not line:          # gateway closed stdin: drain
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = protocol.decode_line(line)
+                except protocol.ProtocolError as error:
+                    print(
+                        f"worker {self.worker_id}: {error}",
+                        file=sys.stderr,
+                    )
+                    exit_code = 2
+                    break
+                op = message.get("op")
+                if op == "shutdown":
+                    break
+                if op == "job":
+                    self.handle_job(message)
+                # unknown ops are skipped: a newer gateway may send
+                # advisory ops an older worker can safely ignore
+        except _DrainRequested:
+            pass
+        finally:
+            if self._service is not None:
+                self._service.shutdown(wait=True, timeout=self.drain_timeout)
+            self._emit({
+                "event": "bye",
+                "worker_id": self.worker_id,
+                "jobs": self.jobs_handled,
+            })
+        return exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway.worker",
+        description=(
+            "Gateway worker process: drains mining jobs from stdin "
+            "(JSON lines), stores results in the shared on-disk cache, "
+            "reports completions on stdout."
+        ),
+    )
+    parser.add_argument("--cache-dir", required=True, metavar="PATH")
+    parser.add_argument("--worker-id", default="w0")
+    parser.add_argument("--max-retries", type=int, default=3)
+    parser.add_argument("--retry-base-delay", type=float, default=0.5)
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="deadline for the in-flight job on shutdown (seconds)",
+    )
+    args = parser.parse_args(argv)
+    worker = GatewayWorker(
+        cache_dir=args.cache_dir,
+        worker_id=args.worker_id,
+        max_retries=args.max_retries,
+        retry_base_delay=args.retry_base_delay,
+        drain_timeout=args.drain_timeout,
+    )
+    return worker.run()
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entrypoint
+    sys.exit(main())

@@ -22,7 +22,7 @@ from repro.cypher.linter import ErrorCategory, LintIssue, LintReport
 from repro.correction.classifier import Classification
 from repro.metrics.definitions import RuleMetrics
 from repro.mining.result import MiningRun, RuleResult
-from repro.rules.model import ConsistencyRule, RuleKind
+from repro.rules.model import ConsistencyRule
 from repro.rules.translator import MetricQueries
 
 FORMAT_VERSION = 1
@@ -62,39 +62,11 @@ def check_format_version(payload: dict[str, Any], what: str = "payload") -> int:
 # rules
 # ----------------------------------------------------------------------
 def rule_to_dict(rule: ConsistencyRule) -> dict[str, Any]:
-    return {
-        "kind": rule.kind.value,
-        "text": rule.text,
-        "label": rule.label,
-        "properties": list(rule.properties),
-        "edge_label": rule.edge_label,
-        "src_label": rule.src_label,
-        "dst_label": rule.dst_label,
-        "allowed_values": list(rule.allowed_values),
-        "pattern_regex": rule.pattern_regex,
-        "scope_edge_label": rule.scope_edge_label,
-        "scope_label": rule.scope_label,
-        "time_property": rule.time_property,
-        "provenance": rule.provenance,
-    }
+    return rule.to_dict()
 
 
 def rule_from_dict(payload: dict[str, Any]) -> ConsistencyRule:
-    return ConsistencyRule(
-        kind=RuleKind(payload["kind"]),
-        text=payload["text"],
-        label=payload.get("label"),
-        properties=tuple(payload.get("properties", ())),
-        edge_label=payload.get("edge_label"),
-        src_label=payload.get("src_label"),
-        dst_label=payload.get("dst_label"),
-        allowed_values=tuple(payload.get("allowed_values", ())),
-        pattern_regex=payload.get("pattern_regex"),
-        scope_edge_label=payload.get("scope_edge_label"),
-        scope_label=payload.get("scope_label"),
-        time_property=payload.get("time_property"),
-        provenance=payload.get("provenance", ""),
-    )
+    return ConsistencyRule.from_dict(payload)
 
 
 # ----------------------------------------------------------------------

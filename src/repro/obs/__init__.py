@@ -40,7 +40,7 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.propagate import EMPTY_CONTEXT, TraceContext, capture, wrap
-from repro.obs.server import TelemetryServer
+from repro.obs.server import JsonRequestHandler, TelemetryServer
 from repro.obs.metrics import (
     Counter,
     DEFAULT_BUCKETS,
@@ -69,6 +69,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
+    "JsonRequestHandler",
     "MetricsRegistry",
     "NameStats",
     "ParsedSpan",

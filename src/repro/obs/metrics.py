@@ -253,3 +253,34 @@ class MetricsRegistry:
                 self._instruments[name]
                 for name in sorted(self._instruments)
             ]
+
+    def snapshot(self, prefix: str | None = None) -> dict[str, dict]:
+        """JSON-serialisable registry state, optionally prefix-filtered.
+
+        Counters and gauges render their labelled samples verbatim;
+        histograms reduce to count / sum / p50-p95-p99 per label set.
+        This is the plain-dict companion of the Prometheus exposition —
+        the gateway's ``/stats`` endpoint and tests read it without a
+        text parser.
+        """
+        out: dict[str, dict] = {}
+        for instrument in self.collect():
+            if prefix is not None and not instrument.name.startswith(prefix):
+                continue
+            samples = []
+            for labels, value in instrument.samples():
+                if isinstance(instrument, Histogram):
+                    snap = instrument.snapshot(**labels)
+                    rendered: object = {
+                        "count": snap.count,
+                        "sum": snap.sum,
+                        **snap.percentiles(),
+                    }
+                else:
+                    rendered = value
+                samples.append({"labels": labels, "value": rendered})
+            out[instrument.name] = {
+                "kind": instrument.kind,
+                "samples": samples,
+            }
+        return out

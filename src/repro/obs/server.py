@@ -41,11 +41,16 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import get_collector
 
 __all__ = [
+    "JsonRequestHandler",
     "TelemetryServer",
 ]
 
 RegistryProvider = Callable[[], Optional[MetricsRegistry]]
 JobsProvider = Callable[[], dict]
+
+#: refuse request bodies beyond this size — a serving front door must
+#: bound memory per request before it ever parses anything
+MAX_BODY_BYTES = 1 << 20
 
 
 def _live_registry() -> MetricsRegistry | None:
@@ -54,27 +59,71 @@ def _live_registry() -> MetricsRegistry | None:
     return collector.metrics if collector is not None else None
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """Routes the three endpoints; server state rides on ``self.server``."""
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Shared plumbing for the repo's stdlib HTTP services.
 
-    server_version = "repro-telemetry/1"
+    Both the telemetry server and the gateway front door speak small
+    JSON payloads over :mod:`http.server`; this base centralises framed
+    sends, JSON encoding, bounded body reads and log suppression so
+    each service only writes its routes.
+    """
 
-    # ------------------------------------------------------------------
+    server_version = "repro-http/1"
+
     def _send(
-        self, status: int, body: bytes, content_type: str
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[dict[str, str]] = None,
     ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        headers: Optional[dict[str, str]] = None,
+    ) -> None:
         self._send(
             status,
             json.dumps(payload, default=str).encode("utf-8"),
             "application/json; charset=utf-8",
+            headers=headers,
         )
+
+    def _read_json_body(self) -> dict:
+        """Parse the request body as a JSON object.
+
+        Raises ``ValueError`` on oversized, malformed or non-object
+        bodies — callers translate that into a 400/413.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError(
+                f"request body of {length} bytes exceeds "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length) if length else b""
+        payload = json.loads(raw.decode("utf-8")) if raw else {}
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def log_message(self, format: str, *args: object) -> None:
+        return None  # serving probes must not spam stderr
+
+
+class _Handler(JsonRequestHandler):
+    """Routes the three endpoints; server state rides on ``self.server``."""
+
+    server_version = "repro-telemetry/1"
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa - http.server naming convention
@@ -117,9 +166,6 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": "no job service attached"})
             return
         self._send_json(200, provider())
-
-    def log_message(self, format: str, *args: object) -> None:
-        return None  # telemetry probes must not spam stderr
 
 
 class _Server(ThreadingHTTPServer):

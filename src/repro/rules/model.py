@@ -121,6 +121,43 @@ class ConsistencyRule:
     def describe(self) -> str:
         return f"[{self.kind.value}] {self.text}"
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable record; inverse of :meth:`from_dict`."""
+        return {
+            "kind": self.kind.value,
+            "text": self.text,
+            "label": self.label,
+            "properties": list(self.properties),
+            "edge_label": self.edge_label,
+            "src_label": self.src_label,
+            "dst_label": self.dst_label,
+            "allowed_values": list(self.allowed_values),
+            "pattern_regex": self.pattern_regex,
+            "scope_edge_label": self.scope_edge_label,
+            "scope_label": self.scope_label,
+            "time_property": self.time_property,
+            "provenance": self.provenance,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ConsistencyRule":
+        """Rebuild a rule from :meth:`to_dict` output."""
+        return cls(
+            kind=RuleKind(payload["kind"]),
+            text=payload["text"],
+            label=payload.get("label"),
+            properties=tuple(payload.get("properties", ())),
+            edge_label=payload.get("edge_label"),
+            src_label=payload.get("src_label"),
+            dst_label=payload.get("dst_label"),
+            allowed_values=tuple(payload.get("allowed_values", ())),
+            pattern_regex=payload.get("pattern_regex"),
+            scope_edge_label=payload.get("scope_edge_label"),
+            scope_label=payload.get("scope_label"),
+            time_property=payload.get("time_property"),
+            provenance=payload.get("provenance", ""),
+        )
+
 
 @dataclass
 class RuleSet:

@@ -6,7 +6,12 @@ retry/backoff around the LLM pipelines, and an on-disk result cache
 layered on :mod:`repro.mining.persistence`.
 """
 
-from repro.service.api import JobFailedError, MiningService, UnknownJobError
+from repro.service.api import (
+    JobFailedError,
+    MiningService,
+    ServiceDraining,
+    UnknownJobError,
+)
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.jobs import (
     Job,
@@ -39,6 +44,7 @@ __all__ = [
     "ResultCache",
     "RetriesExhaustedError",
     "RetryPolicy",
+    "ServiceDraining",
     "UnknownJobError",
     "WorkerPool",
     "cache_key",

@@ -42,12 +42,17 @@ from repro.service.workers import RetryPolicy, WorkerPool, call_with_retry
 __all__ = [
     "JobFailedError",
     "MiningService",
+    "ServiceDraining",
     "UnknownJobError",
 ]
 
 
 class UnknownJobError(KeyError):
     """No job with that id was ever submitted to this service."""
+
+
+class ServiceDraining(RuntimeError):
+    """The service is shutting down and refuses new submissions."""
 
 
 class JobFailedError(RuntimeError):
@@ -103,6 +108,7 @@ class MiningService:
         self._lock = threading.Lock()         # job table + state moves
         self._build_lock = threading.Lock()   # context/pipeline builds
         self._started = False
+        self._draining = False
         self._running = 0                     # jobs currently executing
 
     # ------------------------------------------------------------------
@@ -114,11 +120,32 @@ class MiningService:
             self.pool.start()
         return self
 
-    def shutdown(self, wait: bool = True, timeout: float | None = None) -> None:
-        """Stop accepting jobs; optionally wait for the queue to drain."""
+    @property
+    def draining(self) -> bool:
+        """True once shutdown started; submissions are refused."""
+        with self._lock:
+            return self._draining
+
+    def shutdown(self, wait: bool = True, timeout: float | None = None) -> bool:
+        """Graceful drain: refuse new jobs, let in-flight work finish.
+
+        New :meth:`submit` calls raise :class:`ServiceDraining` from the
+        moment this is called; already-queued jobs are still executed.
+        With ``wait`` the call blocks until the workers exit or the
+        ``timeout`` deadline passes.  Returns True when every worker
+        exited within the deadline (an unbounded or un-waited shutdown
+        reports whether workers are already gone).
+        """
+        with self._lock:
+            self._draining = True
         self.queue.close()
         if wait and self._started:
             self.pool.join(timeout=timeout)
+        return self.pool.alive == 0
+
+    def drain(self, deadline_seconds: float | None = None) -> bool:
+        """SIGTERM-style drain: alias of a waited :meth:`shutdown`."""
+        return self.shutdown(wait=True, timeout=deadline_seconds)
 
     def __enter__(self) -> "MiningService":
         return self.start()
@@ -222,6 +249,10 @@ class MiningService:
         queue is at capacity the call blocks (``block``/``timeout``
         control backpressure behaviour; :class:`QueueFull` on refusal).
         """
+        if self.draining:
+            raise ServiceDraining(
+                "service is draining; new submissions are refused"
+            )
         self.start()
         spec = self._spec(dataset, model, method, prompt_mode, **overrides)
         job_id = cache_key(spec, self._graph_fingerprint(spec.dataset))

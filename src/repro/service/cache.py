@@ -10,9 +10,19 @@ guaranteed miss.  Payloads are the JSON archive format of
 exactly as long as the archive format does, and a newer-format entry is
 rejected loudly rather than mis-read.
 
-Writes are atomic (tmp file + rename) so a crashed worker can never
-leave a half-written entry that poisons later runs; unreadable or
-corrupt entries degrade to a miss.
+The cache is shared by *processes*, not just threads: the gateway's
+worker fleet points every worker at one directory.  Hardening for that:
+
+* writes go to a **uniquely named** temp file (pid + thread id) in the
+  target directory and land via ``os.replace``, so two workers storing
+  the same key concurrently can never interleave bytes — the last
+  complete write wins atomically;
+* a **per-key file lock** (``fcntl.flock`` where available, always
+  backed by striped in-process locks) serialises same-key writers and
+  the corrupt-entry eviction path across processes;
+* ``get`` is **corruption-tolerant**: truncated, non-JSON, non-object
+  or wrong-key payloads degrade to a miss (and evict the entry) instead
+  of raising into the serving path.
 """
 
 from __future__ import annotations
@@ -20,9 +30,16 @@ from __future__ import annotations
 import json
 import os
 import threading
+import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional
+
+try:  # POSIX only; on other platforms the striped locks still apply
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro import obs
 from repro.mining.persistence import (
@@ -32,6 +49,8 @@ from repro.mining.persistence import (
     run_to_dict,
 )
 from repro.mining.result import MiningRun
+
+_LOCK_STRIPES = 16
 
 
 @dataclass
@@ -52,21 +71,61 @@ class CacheStats:
 class ResultCache:
     """Sharded ``<digest[:2]>/<digest>.json`` store of MiningRun records."""
 
-    def __init__(self, cache_dir: str | Path) -> None:
+    def __init__(
+        self, cache_dir: str | Path, lock_files: bool = True
+    ) -> None:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.lock_files = lock_files and fcntl is not None
         self.stats = CacheStats()
         self._lock = threading.Lock()
+        self._stripes = [threading.Lock() for _ in range(_LOCK_STRIPES)]
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
         return self.cache_dir / key[:2] / f"{key}.json"
 
+    def lock_path_for(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.lock"
+
+    @contextmanager
+    def _key_lock(self, key: str) -> Iterator[None]:
+        """Serialise same-key mutators across threads *and* processes.
+
+        The striped in-process lock always applies (it also keeps two
+        threads of one process from contending on the flock, which is
+        per-process state on POSIX); the advisory file lock extends the
+        exclusion to sibling worker processes when the platform has it.
+        """
+        stripe = self._stripes[zlib.crc32(key.encode()) % _LOCK_STRIPES]
+        with stripe:
+            if not self.lock_files:
+                yield
+                return
+            lock_path = self.lock_path_for(key)
+            lock_path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                handle = open(lock_path, "a+")
+            except OSError:
+                yield  # degraded: in-process exclusion only
+                return
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+            finally:
+                handle.close()
+
+    # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[MiningRun]:
         """Fetch a cached run, or None on miss/corruption."""
         path = self.path_for(key)
         try:
             payload = json.loads(path.read_text())
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
             if payload.get("key") != key:
                 raise ValueError("cache entry key mismatch")
             run = run_from_dict(payload["run"])
@@ -78,20 +137,26 @@ class ResultCache:
             # library and treat it as a miss here
             self._miss(key)
             return None
-        except (ValueError, KeyError, TypeError, OSError):
-            # corrupt entry: drop it so it cannot poison later lookups
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            with self._lock:
-                self.stats.evictions += 1
+        except (ValueError, KeyError, TypeError, AttributeError, OSError):
+            # corrupt/truncated entry: evict it under the key lock so a
+            # concurrent writer's fresh replacement is never deleted
+            self._evict_corrupt(key, path)
             self._miss(key)
             return None
         with self._lock:
             self.stats.hits += 1
         obs.inc("service.cache.hits")
         return run
+
+    def _evict_corrupt(self, key: str, path: Path) -> None:
+        with self._key_lock(key):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        with self._lock:
+            self.stats.evictions += 1
+        obs.inc("service.cache.evictions")
 
     def put(
         self,
@@ -108,9 +173,19 @@ class ResultCache:
             "meta": dict(meta or {}),
             "run": run_to_dict(run),
         }
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=1))
-        os.replace(tmp, path)
+        text = json.dumps(payload, indent=1)
+        tmp = path.parent / (
+            f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        with self._key_lock(key):
+            try:
+                tmp.write_text(text)
+                os.replace(tmp, path)
+            finally:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
         with self._lock:
             self.stats.stores += 1
         obs.inc("service.cache.stores")
@@ -126,8 +201,10 @@ class ResultCache:
         """Every key currently stored on disk."""
         return sorted(
             entry.stem
-            for shard in self.cache_dir.iterdir() if shard.is_dir()
+            for shard in self.cache_dir.iterdir()
+            if shard.is_dir() and not shard.name.startswith(".")
             for entry in shard.glob("*.json")
+            if not entry.name.startswith(".")
         )
 
     def __len__(self) -> int:

@@ -12,7 +12,7 @@ layer or below::
       < rules
       < correction, metrics, encoding, llm, prompts, rag, datasets, obs
       < mining
-      < experiments, service
+      < experiments, gateway, service
 
 An upward import (``repro.cypher`` importing ``repro.mining``) couples
 the foundations to their consumers and eventually turns into an import
@@ -58,6 +58,7 @@ LAYERS = {
     "obs": 4,
     "mining": 5,
     "experiments": 6,
+    "gateway": 6,
     "service": 6,
 }
 
