@@ -1,6 +1,12 @@
 """Graph-to-text encoding: tokenizer, encoders and sliding windows."""
 
 from repro.encoding.adjacency import AdjacencyEncoder
+from repro.encoding.dirty import (
+    changed_window_indexes,
+    dirty_block_subjects,
+    invalidated_windows,
+    refresh_statements,
+)
 from repro.encoding.incident import (
     IncidentEncoder,
     Statement,
@@ -19,6 +25,7 @@ from repro.encoding.windows import (
     SlidingWindowChunker,
     Window,
     WindowSet,
+    statement_token_ranges,
 )
 
 ENCODERS = {
@@ -36,10 +43,15 @@ __all__ = [
     "Statement",
     "Window",
     "WindowSet",
+    "changed_window_indexes",
     "count_tokens",
     "count_tokens_many",
+    "dirty_block_subjects",
     "format_properties",
     "format_value",
+    "invalidated_windows",
+    "refresh_statements",
     "split_tokens",
+    "statement_token_ranges",
     "token_spans",
 ]

@@ -23,6 +23,42 @@ DEFAULT_WINDOW_SIZE = 8000
 DEFAULT_OVERLAP = 500
 
 
+def statement_token_ranges(
+    statements: list["Statement"],
+    spans: list[tuple[int, int]] | None = None,
+) -> list[tuple[int, int]]:
+    """Map each statement to its [first, last] token index range.
+
+    ``spans`` are the token character spans of the newline-joined text;
+    recomputed when not supplied.  Shared by the chunker's fragmentation
+    accounting and the dirty-window invalidation in
+    :mod:`repro.encoding.dirty`.
+    """
+    if spans is None:
+        text = "\n".join(statement.text for statement in statements)
+        spans = token_spans(text)
+    total = len(spans)
+    ranges: list[tuple[int, int]] = []
+    cursor = 0
+    offset = 0
+    for statement in statements:
+        start_char = offset
+        end_char = offset + len(statement.text)
+        first = None
+        last = None
+        while cursor < total and spans[cursor][0] < end_char:
+            if spans[cursor][1] > start_char:
+                if first is None:
+                    first = cursor
+                last = cursor
+            cursor += 1
+        if first is None:
+            first = last = max(cursor - 1, 0)
+        ranges.append((first, last))
+        offset = end_char + 1  # the joining newline
+    return ranges
+
+
 @dataclass(frozen=True)
 class Window:
     """One window of encoded-graph text."""
@@ -97,34 +133,11 @@ class SlidingWindowChunker:
         text = "\n".join(statement.text for statement in statements)
         spans = token_spans(text)
         total = len(spans)
-
-        # map each statement to its token index range [first, last]
-        statement_token_ranges: list[tuple[int, int]] = []
-        cursor = 0
-        offset = 0
-        for statement in statements:
-            start_char = offset
-            end_char = offset + len(statement.text)
-            first = None
-            last = None
-            while cursor < total and spans[cursor][0] < end_char:
-                if spans[cursor][1] > start_char:
-                    if first is None:
-                        first = cursor
-                    last = cursor
-                cursor += 1
-            if first is None:
-                first = last = max(cursor - 1, 0)
-            statement_token_ranges.append((first, last))
-            offset = end_char + 1  # the joining newline
+        ranges = statement_token_ranges(statements, spans)
 
         windows = self._build_windows(text, spans)
-        broken = self._find_broken(
-            statements, statement_token_ranges, windows, total
-        )
-        broken_blocks = self._find_broken_blocks(
-            statements, statement_token_ranges, windows
-        )
+        broken = self._find_broken(statements, ranges, windows, total)
+        broken_blocks = self._find_broken_blocks(statements, ranges, windows)
         return WindowSet(
             windows=windows,
             total_tokens=total,

@@ -20,6 +20,9 @@ Usage::
         --cache-dir ~/.repro-cache
     repro-experiments serve --port 0 --workers 2 --rate 10 --burst 20
 
+    # continuous mining: accept live mutations, maintain rules in place
+    repro-experiments serve --port 8080 --watch --cache-max-entries 256
+
     # offline trace intelligence + the perf-regression gate
     repro-experiments profile trace.jsonl --attr rule
     repro-experiments perf --compare benchmarks/baselines/perf_smoke.json
@@ -134,6 +137,9 @@ def _serve_gateway(args: argparse.Namespace) -> int:
         defaults=SpecDefaults(base_seed=args.seed),
         max_retries=args.max_retries,
         drain_timeout=args.drain_timeout,
+        watch=args.watch,
+        watch_debounce=args.watch_debounce,
+        cache_max_entries=args.cache_max_entries,
     )
     clean = True
     try:
@@ -146,6 +152,11 @@ def _serve_gateway(args: argparse.Namespace) -> int:
             "endpoints: POST /jobs  GET /jobs/<id>[/result]  "
             "POST /jobs/<id>/cancel  GET /stats /healthz /metrics"
         )
+        if args.watch:
+            print(
+                "watch mode: POST /graphs/<name>/mutations  GET /drift "
+                f"(debounce {args.watch_debounce}s)"
+            )
         stop.wait()
         clean = gateway.drain(args.drain_timeout)
         print(
@@ -267,6 +278,29 @@ def serve_main(argv: list[str]) -> int:
     gateway_group.add_argument(
         "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
         help="deadline for in-flight work on SIGTERM/SIGINT (default 30)",
+    )
+    gateway_group.add_argument(
+        "--watch", action="store_true",
+        help=(
+            "accept live mutation batches (POST /graphs/<name>/mutations) "
+            "and keep mined rules maintained incrementally; drift "
+            "telemetry on GET /drift"
+        ),
+    )
+    gateway_group.add_argument(
+        "--watch-debounce", type=float, default=0.5, metavar="SECONDS",
+        help=(
+            "quiet period before a mutation burst triggers incremental "
+            "maintenance (default 0.5)"
+        ),
+    )
+    gateway_group.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help=(
+            "LRU bound on cached mining results (default unbounded; "
+            "recommended under --watch, where every mutation batch "
+            "mints a fresh content address)"
+        ),
     )
     args = parser.parse_args(argv)
 

@@ -25,6 +25,7 @@ from repro.mining.runner import ExperimentRunner
 
 __all__ = [
     "IGNORED_METRICS",
+    "STREAM_WORKLOAD",
     "WORKLOAD",
     "collect_profile",
     "compare",
@@ -38,6 +39,17 @@ WORKLOAD = {
     "model": "llama3",
     "methods": ["sliding_window", "rag"],
     "prompt_mode": "zero_shot",
+}
+
+#: the streaming phase: a fixed narrow delta batch (24 GP_LINK edges no
+#: rule observes + 1 CAN_RDP edge exactly one rule observes, ≤1% of the
+#: dataset's edges) maintained incrementally — gates the stream.* counters
+#: and the ≥5x evaluation-savings claim
+STREAM_WORKLOAD = {
+    "dataset": "cybersecurity",
+    "gp_link_edges": 24,
+    "can_rdp_edges": 1,
+    "min_eval_savings": 5.0,
 }
 
 #: metric names carrying wall-clock time: machine-dependent, never gated
@@ -60,13 +72,66 @@ def _label_key(labels: dict[str, object]) -> str:
 def _profile_shell(seed: int) -> dict:
     return {
         "format": _FORMAT,
-        "workload": dict(WORKLOAD),
+        "workload": dict(WORKLOAD, stream=dict(STREAM_WORKLOAD)),
         "seed": seed,
         "ignore": list(IGNORED_METRICS),
         "counters": {},
         "histograms": {},
         "spans": {},
     }
+
+
+def _run_stream_phase(seed: int) -> None:
+    """Incrementally maintain a mined run over a fixed delta batch.
+
+    Runs on a snapshot round-trip *copy* of the dataset — the registry
+    caches graph instances in-process, and mutating the shared one would
+    poison every later profile.  Emits the deterministic ``stream.*``
+    counters the baseline gates, and enforces the evaluation-savings
+    floor: the narrow batch must re-evaluate at least
+    ``min_eval_savings``x fewer rules than a full recompute would.
+    """
+    from repro.datasets import load
+    from repro.datasets.snapshot import dataset_from_dict, dataset_to_dict
+    from repro.graph import GraphChangeLog
+    from repro.mining import PipelineContext, SlidingWindowPipeline
+    from repro.stream import IncrementalMaintainer
+
+    spec = STREAM_WORKLOAD
+    dataset = dataset_from_dict(dataset_to_dict(load(spec["dataset"])))
+    context = PipelineContext.build(dataset)
+    run = SlidingWindowPipeline(context).mine(
+        WORKLOAD["model"], WORKLOAD["prompt_mode"],
+    )
+    maintainer = IncrementalMaintainer(run, dataset.graph)
+    changelog = GraphChangeLog().attach(dataset.graph)
+
+    graph = dataset.graph
+    ous = sorted(n.id for n in graph.nodes() if "OU" in n.labels)
+    gpos = sorted(n.id for n in graph.nodes() if "GPO" in n.labels)
+    users = sorted(n.id for n in graph.nodes() if "User" in n.labels)
+    computers = sorted(
+        n.id for n in graph.nodes() if "Computer" in n.labels
+    )
+    with graph.batch():
+        for index in range(spec["gp_link_edges"]):
+            graph.add_edge(
+                f"perf_gp_{index}", "GP_LINK",
+                ous[index % len(ous)], gpos[index % len(gpos)],
+            )
+        for index in range(spec["can_rdp_edges"]):
+            graph.add_edge(
+                f"perf_rdp_{index}", "CAN_RDP",
+                users[index], computers[index],
+            )
+    report = maintainer.apply(list(changelog.deltas()))
+    evaluable = report.total_rules - report.constant_rules
+    if report.reevaluated * spec["min_eval_savings"] > evaluable:
+        raise AssertionError(
+            f"stream phase lost its savings floor: {report.reevaluated} "
+            f"of {evaluable} evaluable rules re-evaluated (need "
+            f">={spec['min_eval_savings']}x fewer than full re-eval)"
+        )
 
 
 def collect_profile(seed: int = 0) -> dict:
@@ -87,6 +152,7 @@ def collect_profile(seed: int = 0) -> dict:
                 WORKLOAD["dataset"], WORKLOAD["model"],
                 method, WORKLOAD["prompt_mode"],
             )
+        _run_stream_phase(seed)
     finally:
         if previous is not None:
             obs.install(previous)

@@ -204,6 +204,27 @@ class GatewayClient:
         _, parsed = self._request("POST", f"/jobs/{job_id}/cancel")
         return bool(parsed.get("cancelled"))
 
+    def mutate(
+        self, dataset: str, mutations: list[dict]
+    ) -> dict[str, Any]:
+        """POST one mutation batch to a watched dataset; returns the ack.
+
+        See :mod:`repro.stream.mutations` for the wire format of each
+        entry.  Requires a gateway started in watch mode.
+        """
+        payload: dict[str, object] = {"mutations": mutations}
+        if self.client_id:
+            payload["client"] = self.client_id
+        _, parsed = self._request(
+            "POST", f"/graphs/{dataset}/mutations", payload
+        )
+        return parsed
+
+    def drift(self) -> dict[str, Any]:
+        """Watch-mode drift telemetry from ``GET /drift``."""
+        _, parsed = self._request("GET", "/drift")
+        return parsed
+
     def stats(self) -> dict[str, Any]:
         _, parsed = self._request("GET", "/stats")
         return parsed

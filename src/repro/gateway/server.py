@@ -60,6 +60,8 @@ from repro.obs.export import prometheus_text
 from repro.obs.server import JsonRequestHandler
 from repro.service.cache import ResultCache
 from repro.service.jobs import cache_key, graph_fingerprint
+from repro.stream.mutations import MutationError
+from repro.stream.watch import WatchService
 
 __all__ = [
     "Gateway",
@@ -137,6 +139,11 @@ class Gateway:
         serve_from_cache: bool = True,
         python: str = sys.executable,
         clock: Callable[[], float] = time.monotonic,
+        watch: bool = False,
+        watch_model: str = "llama3",
+        watch_prompt_mode: str = "zero_shot",
+        watch_debounce: float = 0.5,
+        cache_max_entries: int | None = None,
     ) -> None:
         self.cache_dir = Path(cache_dir)
         self.host = host
@@ -146,8 +153,13 @@ class Gateway:
         self.serve_from_cache = serve_from_cache
         self.drain_timeout = drain_timeout
         self._clock = clock
-        self.cache = ResultCache(self.cache_dir)
+        self.cache = ResultCache(self.cache_dir, max_entries=cache_max_entries)
         self.snapshot_dir = self.cache_dir / ".snapshots"
+        self.watch_enabled = watch
+        self.watch_model = watch_model
+        self.watch_prompt_mode = watch_prompt_mode
+        self.watch_debounce = watch_debounce
+        self._watchers: dict[str, WatchService] = {}
         self.admission = AdmissionController(policy=policy, clock=clock)
         self.dispatcher = Dispatcher(
             cache_dir=self.cache_dir,
@@ -162,6 +174,7 @@ class Gateway:
         self._jobs: dict[str, GatewayJob] = {}
         self._jobs_lock = threading.Lock()
         self._datasets: dict[str, tuple[str, str]] = {}  # name -> (path, fp)
+        self._dataset_objects: dict[str, Dataset] = {}
         self._dataset_lock = threading.Lock()
         self._draining = False
         self._started = False
@@ -178,6 +191,9 @@ class Gateway:
             return self
         self._started = True
         self.dispatcher.start()
+        with self._dataset_lock:
+            for watcher in self._watchers.values():
+                watcher.start()
         httpd = _GatewayServer((self.host, self.requested_port), _Handler)
         httpd.gateway = self
         self._httpd = httpd
@@ -220,6 +236,10 @@ class Gateway:
         """Hard stop: drain with the configured deadline, close HTTP."""
         if not self.draining:
             self.drain(self.drain_timeout)
+        with self._dataset_lock:
+            watchers = list(self._watchers.values())
+        for watcher in watchers:
+            watcher.stop()
         self.dispatcher.stop()
         if self._httpd is not None:
             self._httpd.shutdown()
@@ -261,7 +281,99 @@ class Gateway:
             save_dataset(dataset, path)
             entry = (str(path), graph_fingerprint(dataset.graph))
             self._datasets[key] = entry
+            self._dataset_objects[key] = dataset
             return entry
+
+    # ------------------------------------------------------------------
+    # watch mode: live mutations + drift
+    # ------------------------------------------------------------------
+    def _watcher(self, name: str) -> WatchService:
+        """The watch service for one dataset (created on first use)."""
+        if not self.watch_enabled:
+            raise UnknownDatasetError(
+                "watch mode is disabled (start the gateway with watch=True)"
+            )
+        key = name.lower()
+        self._dataset_entry(key)  # ensure the dataset exists + snapshot
+        with self._dataset_lock:
+            watcher = self._watchers.get(key)
+            if watcher is None:
+                watcher = WatchService(
+                    self._dataset_objects[key],
+                    model=self.watch_model,
+                    prompt_mode=self.watch_prompt_mode,
+                    debounce_seconds=self.watch_debounce,
+                )
+                self._watchers[key] = watcher
+                if self._started:
+                    watcher.start()
+            return watcher
+
+    def mutate(
+        self, name: str, payload: object, client: str = "anonymous"
+    ) -> dict[str, object]:
+        """Apply one mutation batch to a watched dataset.
+
+        Passes admission control like any other request, applies the
+        batch through the dataset's :class:`WatchService` (one epoch
+        bump), then re-snapshots the dataset to a **new, epoch-stamped
+        path** and republishes it: workers key snapshot reloads on the
+        path string, so later job submissions mine the mutated graph
+        under its fresh content address — the grid becomes a live
+        workload.
+        """
+        if self.draining:
+            raise GatewayRejected(self.admission.shed("draining"))
+        decision = self.admission.admit(
+            client,
+            queue_depth=self.dispatcher.backlog,
+            inflight=self.dispatcher.inflight,
+        )
+        if not decision.admitted:
+            raise GatewayRejected(decision)
+        watcher = self._watcher(name)
+        ack = watcher.submit(payload)  # raises MutationError on bad input
+        key = name.lower()
+        with self._dataset_lock:
+            dataset = self._dataset_objects[key]
+            path = self.snapshot_dir / f"{key}.e{dataset.graph.epoch}.json"
+            save_dataset(dataset, path)
+            self._datasets[key] = (
+                str(path), graph_fingerprint(dataset.graph)
+            )
+            self._prune_snapshots(key, keep=8)
+        obs.inc("gateway.mutations_accepted")
+        ack["dataset"] = key
+        ack["snapshot"] = path.name
+        return ack
+
+    def _prune_snapshots(self, key: str, keep: int) -> None:
+        """Drop all but the newest ``keep`` epoch-stamped snapshots.
+
+        Best-effort: a worker still holding an older path will fail its
+        reload and the dispatcher's retry picks up the current one.
+        """
+        snapshots = sorted(
+            self.snapshot_dir.glob(f"{key}.e*.json"),
+            key=lambda p: p.stat().st_mtime,
+        )
+        for stale in snapshots[:-keep]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    def drift(self) -> dict[str, object]:
+        """The ``/drift`` payload: per-dataset watch telemetry."""
+        with self._dataset_lock:
+            watchers = dict(self._watchers)
+        return {
+            "watch": self.watch_enabled,
+            "datasets": {
+                name: watcher.telemetry()
+                for name, watcher in sorted(watchers.items())
+            },
+        }
 
     # ------------------------------------------------------------------
     # client API (the HTTP handler is a thin shim over these)
@@ -400,6 +512,10 @@ class Gateway:
                 "evictions": cache.evictions,
             },
             "datasets": sorted(self._datasets),
+            "watch": {
+                "enabled": self.watch_enabled,
+                "watched": sorted(self._watchers),
+            },
         }
 
 
@@ -441,6 +557,13 @@ class _Handler(JsonRequestHandler):
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
                 self._cancel(parts[1])
                 return
+            if (
+                len(parts) == 3
+                and parts[0] == "graphs"
+                and parts[2] == "mutations"
+            ):
+                self._mutate(parts[1])
+                return
             self._send_json(404, {"error": f"no POST route {path!r}"})
         except Exception as error:  # noqa - serving must survive any request
             self._send_json(500, {"error": str(error)})
@@ -454,6 +577,8 @@ class _Handler(JsonRequestHandler):
                 self._healthz()
             elif path == "/metrics":
                 self._metrics()
+            elif path == "/drift":
+                self._send_json(200, self.gateway.drift())
             else:
                 parts = path.strip("/").split("/")
                 if len(parts) == 2 and parts[0] == "jobs":
@@ -471,6 +596,8 @@ class _Handler(JsonRequestHandler):
                             "POST /jobs", "GET /jobs/<id>",
                             "GET /jobs/<id>/result",
                             "POST /jobs/<id>/cancel",
+                            "POST /graphs/<name>/mutations",
+                            "GET /drift",
                             "GET /stats", "GET /healthz", "GET /metrics",
                         ],
                     })
@@ -533,6 +660,36 @@ class _Handler(JsonRequestHandler):
             "source": job.source,
             "run": run_to_dict(run),
         })
+
+    def _mutate(self, name: str) -> None:
+        try:
+            payload = self._read_json_body()
+        except ValueError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        client = self._client_id(
+            payload if isinstance(payload, dict) else {}
+        )
+        try:
+            ack = self.gateway.mutate(name, payload, client=client)
+        except MutationError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        except UnknownDatasetError as error:
+            self._send_json(404, {"error": str(error.args[0])})
+            return
+        except GatewayRejected as error:
+            decision = error.decision
+            self._send_json(
+                error.status,
+                {
+                    "error": decision.reason,
+                    "retry_after": decision.retry_after,
+                },
+                headers=_retry_after_header(decision.retry_after),
+            )
+            return
+        self._send_json(200, ack)
 
     def _cancel(self, job_id: str) -> None:
         try:

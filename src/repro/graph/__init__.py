@@ -1,5 +1,11 @@
 """Property-graph substrate: data model, indexed store, schema, IO, stats."""
 
+from repro.graph.changelog import (
+    DeltaKind,
+    GraphChangeLog,
+    GraphDelta,
+    compact_deltas,
+)
 from repro.graph.errors import (
     DanglingEdgeError,
     DuplicateElementError,
@@ -34,12 +40,15 @@ from repro.graph.store import PropertyGraph
 
 __all__ = [
     "DanglingEdgeError",
+    "DeltaKind",
     "DuplicateElementError",
     "Edge",
     "EdgeLabelStats",
     "ElementNotFoundError",
     "EndpointSignature",
     "GraphCatalog",
+    "GraphChangeLog",
+    "GraphDelta",
     "GraphError",
     "GraphSchema",
     "GraphStatistics",
@@ -51,6 +60,7 @@ __all__ = [
     "PropertySketch",
     "build_catalog",
     "build_graph",
+    "compact_deltas",
     "compute_statistics",
     "graph_from_dict",
     "graph_to_dict",

@@ -15,8 +15,11 @@ from __future__ import annotations
 
 import itertools
 from collections import defaultdict
-from typing import TYPE_CHECKING, Iterable, Iterator
+from contextlib import contextmanager
+from dataclasses import replace as _replace_delta
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
+from repro.graph.changelog import DeltaKind, GraphDelta
 from repro.graph.errors import (
     DanglingEdgeError,
     DuplicateElementError,
@@ -73,6 +76,10 @@ class PropertyGraph:
         self._token = next(_GRAPH_TOKENS)
         self._epoch = 0
         self._catalog_cache: tuple[int, "GraphCatalog"] | None = None
+        self._observers: list[Callable[[GraphDelta], None]] = []
+        self._batch_depth = 0
+        self._batch_dirty = False
+        self._pending_deltas: list[GraphDelta] = []
 
     # ------------------------------------------------------------------
     # versioning
@@ -87,7 +94,69 @@ class PropertyGraph:
         return (self._token, self._epoch)
 
     def _touch(self) -> None:
-        self._epoch += 1
+        if self._batch_depth:
+            # inside batch(): defer the epoch bump, but drop any catalog
+            # built this epoch — it no longer reflects graph contents
+            self._batch_dirty = True
+            self._catalog_cache = None
+        else:
+            self._epoch += 1
+
+    # ------------------------------------------------------------------
+    # mutation observers
+    # ------------------------------------------------------------------
+    def subscribe(self, observer: Callable[[GraphDelta], None]) -> None:
+        """Register ``observer`` to receive a delta for every mutation."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[GraphDelta], None]) -> None:
+        # equality, not identity: a bound method like ``changelog.record``
+        # is a fresh object on every attribute access
+        self._observers = [o for o in self._observers if o != observer]
+
+    def _emit(self, kind: DeltaKind, subject_id: str, **fields: object) -> None:
+        if not self._observers:
+            return
+        delta = GraphDelta(
+            kind=kind, epoch=self._epoch, subject_id=subject_id, **fields
+        )
+        if self._batch_depth:
+            # stamped with the committing epoch once the batch flushes
+            self._pending_deltas.append(delta)
+            return
+        for observer in list(self._observers):
+            observer(delta)
+
+    @contextmanager
+    def batch(self) -> Iterator["PropertyGraph"]:
+        """Coalesce a burst of mutations into a single epoch bump.
+
+        N inserts normally cost N catalog/plan-cache invalidations; inside
+        ``with graph.batch():`` the epoch advances once, at exit, and the
+        buffered deltas flush to observers stamped with that committing
+        epoch.  Reentrant — nested batches flush with the outermost exit.
+
+        Mid-batch reads see the mutated contents but the *pre-batch*
+        epoch/fingerprint, so derived statistics may lag until exit.
+        Mutations already applied are kept even if the body raises (the
+        store is not transactional); the flush still happens so observers
+        never miss a delta.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                if self._batch_dirty:
+                    self._batch_dirty = False
+                    self._epoch += 1
+                pending, self._pending_deltas = self._pending_deltas, []
+                for delta in pending:
+                    stamped = _replace_delta(delta, epoch=self._epoch)
+                    for observer in list(self._observers):
+                        observer(stamped)
 
     def catalog(self) -> "GraphCatalog":
         """The planner-grade statistics catalog, cached per epoch."""
@@ -118,6 +187,12 @@ class PropertyGraph:
             self._nodes_by_label[label][node.id] = None
         self._index_node_properties(node)
         self._touch()
+        self._emit(
+            DeltaKind.NODE_ADDED,
+            node.id,
+            labels=tuple(sorted(node.labels)),
+            keys=tuple(sorted(node.properties)),
+        )
         return node
 
     def add_edge(
@@ -140,6 +215,14 @@ class PropertyGraph:
         self._out_edges[edge.src][edge.id] = None
         self._in_edges[edge.dst][edge.id] = None
         self._touch()
+        self._emit(
+            DeltaKind.EDGE_ADDED,
+            edge.id,
+            edge_label=edge.label,
+            src=edge.src,
+            dst=edge.dst,
+            keys=tuple(sorted(edge.properties)),
+        )
         return edge
 
     def update_node(self, node_id: str, properties: Properties) -> Node:
@@ -150,6 +233,12 @@ class PropertyGraph:
         self._nodes[node_id] = updated
         self._index_node_properties(updated, properties.keys())
         self._touch()
+        self._emit(
+            DeltaKind.NODE_PROPS,
+            node_id,
+            labels=tuple(sorted(updated.labels)),
+            keys=tuple(sorted(properties.keys())),
+        )
         return updated
 
     def remove_node_property(self, node_id: str, key: str) -> Node:
@@ -159,6 +248,12 @@ class PropertyGraph:
         updated = node.without_property(key)
         self._nodes[node_id] = updated
         self._touch()
+        self._emit(
+            DeltaKind.NODE_PROPS,
+            node_id,
+            labels=tuple(sorted(updated.labels)),
+            keys=(key,),
+        )
         return updated
 
     def update_edge(self, edge_id: str, properties: Properties) -> Edge:
@@ -167,6 +262,14 @@ class PropertyGraph:
         updated = edge.with_properties(properties)
         self._edges[edge_id] = updated
         self._touch()
+        self._emit(
+            DeltaKind.EDGE_PROPS,
+            edge_id,
+            edge_label=updated.label,
+            src=updated.src,
+            dst=updated.dst,
+            keys=tuple(sorted(properties.keys())),
+        )
         return updated
 
     def remove_edge(self, edge_id: str) -> None:
@@ -177,6 +280,14 @@ class PropertyGraph:
         self._out_edges[edge.src].pop(edge_id, None)
         self._in_edges[edge.dst].pop(edge_id, None)
         self._touch()
+        self._emit(
+            DeltaKind.EDGE_REMOVED,
+            edge_id,
+            edge_label=edge.label,
+            src=edge.src,
+            dst=edge.dst,
+            keys=tuple(sorted(edge.properties)),
+        )
 
     def remove_node(self, node_id: str) -> None:
         """Delete a node along with all of its incident edges."""
@@ -194,6 +305,12 @@ class PropertyGraph:
         self._in_edges.pop(node_id, None)
         self._deindex_node_properties(node, node.properties.keys())
         self._touch()
+        self._emit(
+            DeltaKind.NODE_REMOVED,
+            node_id,
+            labels=tuple(sorted(node.labels)),
+            keys=tuple(sorted(node.properties)),
+        )
 
     # ------------------------------------------------------------------
     # property-index maintenance

@@ -72,11 +72,20 @@ class ResultCache:
     """Sharded ``<digest[:2]>/<digest>.json`` store of MiningRun records."""
 
     def __init__(
-        self, cache_dir: str | Path, lock_files: bool = True
+        self,
+        cache_dir: str | Path,
+        lock_files: bool = True,
+        max_entries: int | None = None,
     ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.lock_files = lock_files and fcntl is not None
+        #: LRU bound on stored entries (None = unbounded, the historical
+        #: behaviour); watch-mode churn mints a fresh graph fingerprint
+        #: per mutation batch, so an unbounded cache grows forever
+        self.max_entries = max_entries
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._stripes = [threading.Lock() for _ in range(_LOCK_STRIPES)]
@@ -143,6 +152,11 @@ class ResultCache:
             self._evict_corrupt(key, path)
             self._miss(key)
             return None
+        if self.max_entries is not None:
+            try:  # recency signal for the LRU bound; best-effort
+                os.utime(path)
+            except OSError:
+                pass
         with self._lock:
             self.stats.hits += 1
         obs.inc("service.cache.hits")
@@ -189,7 +203,43 @@ class ResultCache:
         with self._lock:
             self.stats.stores += 1
         obs.inc("service.cache.stores")
+        self._evict_lru(protect=key)
         return path
+
+    def _evict_lru(self, protect: str) -> None:
+        """Drop least-recently-used entries beyond ``max_entries``.
+
+        The just-written ``protect`` key is never a victim (its mtime
+        may tie with a concurrent writer's).  Eviction races between
+        sibling processes are benign: a double unlink is a no-op, and
+        losing an entry only costs a future recompute.
+        """
+        if self.max_entries is None:
+            return
+        entries: list[tuple[float, str, Path]] = []
+        for shard in self.cache_dir.iterdir():
+            if not shard.is_dir() or shard.name.startswith("."):
+                continue
+            for entry in shard.glob("*.json"):
+                if entry.name.startswith(".") or entry.stem == protect:
+                    continue
+                try:
+                    entries.append((entry.stat().st_mtime, entry.stem, entry))
+                except OSError:
+                    continue  # concurrently evicted by a sibling
+        excess = (len(entries) + 1) - self.max_entries
+        if excess <= 0:
+            return
+        entries.sort()  # oldest mtime first; key breaks ties stably
+        for _mtime, victim_key, victim in entries[:excess]:
+            with self._key_lock(victim_key):
+                try:
+                    victim.unlink()
+                except OSError:
+                    continue
+            with self._lock:
+                self.stats.evictions += 1
+            obs.inc("service.cache.evictions", reason="lru")
 
     def _miss(self, key: str) -> None:
         with self._lock:

@@ -1,0 +1,144 @@
+"""Rule-drift detection: turning metric movement into events.
+
+Continuous mining is only useful if someone hears about the drift.  A
+:class:`DriftDetector` folds each maintenance pass's
+:class:`~repro.stream.maintainer.RuleChange` list into typed events:
+
+* ``confidence_band`` — the rule's confidence crossed a quartile band
+  boundary (gained or lost a band);
+* ``new_violations`` — the body-but-not-satisfying population grew, i.e.
+  fresh violations of the rule appeared in the graph.
+
+Events are emitted through obs (``rule.drift`` counter, labelled by
+kind) and retained in a bounded in-memory log that backs the ``/drift``
+telemetry endpoint.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro import obs
+from repro.metrics.definitions import RuleMetrics
+from repro.stream.maintainer import MaintenanceReport, RuleChange
+
+#: quartile confidence bands (percent, upper-exclusive except the last)
+CONFIDENCE_BANDS = (25.0, 50.0, 75.0)
+
+
+def confidence_band(metrics: RuleMetrics) -> int:
+    """Band index 0-3 for a rule's confidence percentage."""
+    confidence = metrics.confidence
+    for band, threshold in enumerate(CONFIDENCE_BANDS):
+        if confidence < threshold:
+            return band
+    return len(CONFIDENCE_BANDS)
+
+
+def violations(metrics: RuleMetrics) -> int:
+    """Body matches that do not satisfy the rule."""
+    return max(0, metrics.body - metrics.support)
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One observed rule drift."""
+
+    kind: str                   # 'confidence_band' | 'new_violations'
+    dataset: str
+    rule_text: str
+    epoch: int
+    before: RuleMetrics
+    after: RuleMetrics
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "dataset": self.dataset,
+            "rule": self.rule_text,
+            "epoch": self.epoch,
+            "confidence_before": round(self.before.confidence, 2),
+            "confidence_after": round(self.after.confidence, 2),
+            "band_before": confidence_band(self.before),
+            "band_after": confidence_band(self.after),
+            "violations_before": violations(self.before),
+            "violations_after": violations(self.after),
+            "support_before": self.before.support,
+            "support_after": self.after.support,
+        }
+
+
+def detect_drift(
+    dataset: str, report: MaintenanceReport
+) -> list[DriftEvent]:
+    """Derive drift events from one maintenance report."""
+    events: list[DriftEvent] = []
+    for change in report.changes:
+        events.extend(_events_for(dataset, report.epoch, change))
+    return events
+
+
+def _events_for(
+    dataset: str, epoch: int, change: RuleChange
+) -> list[DriftEvent]:
+    events: list[DriftEvent] = []
+    if confidence_band(change.before) != confidence_band(change.after):
+        events.append(DriftEvent(
+            kind="confidence_band",
+            dataset=dataset,
+            rule_text=change.rule_text,
+            epoch=epoch,
+            before=change.before,
+            after=change.after,
+        ))
+    if violations(change.after) > violations(change.before):
+        events.append(DriftEvent(
+            kind="new_violations",
+            dataset=dataset,
+            rule_text=change.rule_text,
+            epoch=epoch,
+            before=change.before,
+            after=change.after,
+        ))
+    return events
+
+
+class DriftDetector:
+    """Stateful sink: detects, counts and retains drift events."""
+
+    def __init__(self, dataset: str, retain: int = 256) -> None:
+        self.dataset = dataset
+        self._events: deque[DriftEvent] = deque(maxlen=retain)
+        self._total = 0
+        self._by_kind: dict[str, int] = {}
+
+    def observe(self, report: MaintenanceReport) -> list[DriftEvent]:
+        """Fold one maintenance report; returns the new events."""
+        events = detect_drift(self.dataset, report)
+        for event in events:
+            self._events.append(event)
+            self._total += 1
+            self._by_kind[event.kind] = self._by_kind.get(event.kind, 0) + 1
+            obs.inc("rule.drift", kind=event.kind, dataset=event.dataset)
+        return events
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def events(self, limit: int | None = None) -> list[DriftEvent]:
+        """Most recent events, oldest first."""
+        recent = list(self._events)
+        if limit is not None:
+            recent = recent[-limit:]
+        return recent
+
+    def telemetry(self) -> dict:
+        """The ``/drift`` endpoint payload."""
+        return {
+            "dataset": self.dataset,
+            "total_events": self._total,
+            "by_kind": dict(sorted(self._by_kind.items())),
+            "recent": [event.to_dict() for event in self.events(50)],
+        }

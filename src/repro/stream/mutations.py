@@ -1,0 +1,197 @@
+"""Wire format for mutation batches submitted over HTTP.
+
+A batch is a JSON object ``{"mutations": [...]}`` where each entry names
+an ``op`` plus its operands::
+
+    {"op": "add_node",    "id": "u9", "labels": ["User"],
+     "properties": {"name": "Zoe"}}
+    {"op": "remove_node", "id": "u9"}
+    {"op": "add_edge",    "id": "f3", "label": "FOLLOWS",
+     "src": "u1", "dst": "u2", "properties": {}}
+    {"op": "remove_edge", "id": "f3"}
+    {"op": "set_props",   "target": "node", "id": "u1",
+     "properties": {"age": 31}}
+    {"op": "remove_prop", "target": "node", "id": "u1", "key": "age"}
+
+:func:`parse_mutations` validates the envelope strictly (unknown ops,
+missing operands and malformed property maps all raise
+:exc:`MutationError` before anything touches the graph);
+:func:`apply_mutations` then applies a parsed batch inside a single
+``graph.batch()`` so the whole submission costs one epoch bump.  The
+store is not transactional: if an op fails mid-batch (say a dangling
+edge) the earlier ops stay applied — the raised error names the failing
+index so the client can tell what landed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.errors import GraphError
+from repro.graph.store import PropertyGraph
+
+OPS = (
+    "add_node", "remove_node", "add_edge", "remove_edge",
+    "set_props", "remove_prop",
+)
+_TARGETS = ("node", "edge")
+#: refuse pathological payloads before they reach the store
+MAX_BATCH_OPS = 10_000
+
+
+class MutationError(ValueError):
+    """A malformed or inapplicable mutation batch (maps to HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One validated mutation operation."""
+
+    op: str
+    id: str
+    labels: tuple[str, ...] = ()
+    label: str | None = None
+    src: str | None = None
+    dst: str | None = None
+    target: str = "node"
+    key: str | None = None
+    properties: dict = field(default_factory=dict)
+
+
+def _require_str(entry: dict, key: str, index: int) -> str:
+    value = entry.get(key)
+    if not isinstance(value, str) or not value:
+        raise MutationError(
+            f"mutation {index}: {key!r} must be a non-empty string"
+        )
+    return value
+
+
+def _optional_properties(entry: dict, index: int) -> dict:
+    properties = entry.get("properties", {})
+    if not isinstance(properties, dict):
+        raise MutationError(f"mutation {index}: 'properties' must be an object")
+    for key in properties:
+        if not isinstance(key, str):
+            raise MutationError(
+                f"mutation {index}: property keys must be strings"
+            )
+    return properties
+
+
+def parse_mutations(payload: object) -> list[Mutation]:
+    """Validate a decoded JSON payload into a mutation list."""
+    if not isinstance(payload, dict):
+        raise MutationError("payload must be a JSON object")
+    raw = payload.get("mutations")
+    if not isinstance(raw, list) or not raw:
+        raise MutationError("'mutations' must be a non-empty array")
+    if len(raw) > MAX_BATCH_OPS:
+        raise MutationError(
+            f"batch exceeds {MAX_BATCH_OPS} operations"
+        )
+    mutations: list[Mutation] = []
+    for index, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            raise MutationError(f"mutation {index}: must be an object")
+        op = entry.get("op")
+        if op not in OPS:
+            raise MutationError(
+                f"mutation {index}: unknown op {op!r} (expected one of "
+                f"{', '.join(OPS)})"
+            )
+        subject = _require_str(entry, "id", index)
+        if op == "add_node":
+            labels = entry.get("labels")
+            if (
+                not isinstance(labels, list) or not labels
+                or not all(isinstance(x, str) and x for x in labels)
+            ):
+                raise MutationError(
+                    f"mutation {index}: 'labels' must be a non-empty "
+                    "array of strings"
+                )
+            mutations.append(Mutation(
+                op=op, id=subject, labels=tuple(labels),
+                properties=_optional_properties(entry, index),
+            ))
+        elif op == "add_edge":
+            mutations.append(Mutation(
+                op=op, id=subject,
+                label=_require_str(entry, "label", index),
+                src=_require_str(entry, "src", index),
+                dst=_require_str(entry, "dst", index),
+                properties=_optional_properties(entry, index),
+            ))
+        elif op in ("remove_node", "remove_edge"):
+            mutations.append(Mutation(op=op, id=subject))
+        elif op == "set_props":
+            target = entry.get("target", "node")
+            if target not in _TARGETS:
+                raise MutationError(
+                    f"mutation {index}: 'target' must be 'node' or 'edge'"
+                )
+            properties = _optional_properties(entry, index)
+            if not properties:
+                raise MutationError(
+                    f"mutation {index}: set_props needs a non-empty "
+                    "'properties' object"
+                )
+            mutations.append(Mutation(
+                op=op, id=subject, target=target, properties=properties,
+            ))
+        else:  # remove_prop
+            target = entry.get("target", "node")
+            if target != "node":
+                raise MutationError(
+                    f"mutation {index}: remove_prop supports nodes only"
+                )
+            mutations.append(Mutation(
+                op=op, id=subject, target=target,
+                key=_require_str(entry, "key", index),
+            ))
+    return mutations
+
+
+def apply_mutations(
+    graph: PropertyGraph, mutations: list[Mutation]
+) -> int:
+    """Apply a parsed batch under one epoch bump; returns ops applied.
+
+    Raises :exc:`MutationError` naming the failing op; ops before it
+    remain applied (their deltas are emitted, so downstream maintenance
+    stays correct even for partial batches).
+    """
+    applied = 0
+    with graph.batch():
+        for index, mutation in enumerate(mutations):
+            try:
+                _apply_one(graph, mutation)
+            except GraphError as error:
+                raise MutationError(
+                    f"mutation {index} ({mutation.op} {mutation.id!r}) "
+                    f"failed: {error}"
+                ) from error
+            applied += 1
+    return applied
+
+
+def _apply_one(graph: PropertyGraph, mutation: Mutation) -> None:
+    if mutation.op == "add_node":
+        graph.add_node(mutation.id, mutation.labels, mutation.properties)
+    elif mutation.op == "remove_node":
+        graph.remove_node(mutation.id)
+    elif mutation.op == "add_edge":
+        graph.add_edge(
+            mutation.id, mutation.label, mutation.src, mutation.dst,
+            mutation.properties,
+        )
+    elif mutation.op == "remove_edge":
+        graph.remove_edge(mutation.id)
+    elif mutation.op == "set_props":
+        if mutation.target == "node":
+            graph.update_node(mutation.id, mutation.properties)
+        else:
+            graph.update_edge(mutation.id, mutation.properties)
+    else:  # remove_prop
+        graph.remove_node_property(mutation.id, mutation.key)

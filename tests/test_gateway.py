@@ -408,6 +408,91 @@ class TestCacheHardening:
 
 
 # ----------------------------------------------------------------------
+# LRU bound on the result cache
+# ----------------------------------------------------------------------
+class TestCacheLRU:
+    def mined_run(self):
+        svc = MiningService(
+            loader=lambda name: tiny_dataset(name), workers=1,
+            retry_policy=RetryPolicy(max_retries=0, base_delay=0.0),
+        )
+        with svc:
+            return svc.mine("tiny", "llama3", "sliding_window", "zero_shot")
+
+    @staticmethod
+    def keys(count: int) -> list[str]:
+        return [f"{index:02x}" * 32 for index in range(1, count + 1)]
+
+    def put_at(self, cache, key, run, mtime: float) -> None:
+        """Store and pin the entry's mtime so recency is deterministic."""
+        import os
+        path = cache.put(key, run)
+        os.utime(path, (mtime, mtime))
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        run = self.mined_run()
+        cache = ResultCache(tmp_path)
+        for key in self.keys(5):
+            cache.put(key, run)
+        assert len(cache) == 5
+        assert cache.stats.evictions == 0
+
+    def test_put_past_the_bound_evicts_the_oldest(self, tmp_path):
+        collector = obs.install()
+        run = self.mined_run()
+        cache = ResultCache(tmp_path, max_entries=3)
+        first, *rest = self.keys(4)
+        self.put_at(cache, first, run, mtime=100.0)
+        for offset, key in enumerate(rest):
+            self.put_at(cache, key, run, mtime=200.0 + offset)
+        assert len(cache) == 3
+        assert first not in cache              # oldest fell off
+        assert all(key in cache for key in rest)
+        assert cache.stats.evictions == 1
+        evictions = collector.metrics.counter("service.cache.evictions")
+        assert evictions.total() == 1
+        assert evictions.value(reason="lru") == 1
+
+    def test_get_refreshes_recency(self, tmp_path):
+        run = self.mined_run()
+        cache = ResultCache(tmp_path, max_entries=2)
+        old, newer, newest = self.keys(3)
+        self.put_at(cache, old, run, mtime=100.0)
+        self.put_at(cache, newer, run, mtime=200.0)
+        assert cache.get(old) is not None      # hit bumps old's mtime
+        cache.put(newest, run)
+        assert old in cache                    # survived: recently used
+        assert newer not in cache              # became the LRU victim
+
+    def test_just_written_key_is_never_the_victim(self, tmp_path):
+        run = self.mined_run()
+        cache = ResultCache(tmp_path, max_entries=1)
+        first, second = self.keys(2)
+        self.put_at(cache, first, run, mtime=100.0)
+        cache.put(second, run)
+        assert second in cache
+        assert first not in cache
+        assert len(cache) == 1
+
+    def test_eviction_keeps_served_entries_readable(self, tmp_path):
+        run = self.mined_run()
+        cache = ResultCache(tmp_path, max_entries=2)
+        survivors = self.keys(6)
+        for offset, key in enumerate(survivors):
+            self.put_at(cache, key, run, mtime=100.0 + offset)
+        kept = [key for key in survivors if key in cache]
+        assert len(kept) == 2
+        for key in kept:
+            fetched = cache.get(key)
+            assert fetched is not None
+            assert fetched.key() == run.key()
+
+    def test_max_entries_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)
+
+
+# ----------------------------------------------------------------------
 # graceful drain of the in-process service
 # ----------------------------------------------------------------------
 class TestServiceDrain:

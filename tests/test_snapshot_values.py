@@ -1,0 +1,148 @@
+"""Dataset snapshot round-trips for awkward property values: unicode,
+lists, None and the nested-container rejection contract.
+
+Watch mode re-snapshots the dataset after every mutation batch, so any
+value a client can push through the mutation API must survive
+serialise -> JSON -> deserialise exactly.  The graph model mirrors
+Neo4j's storable types — primitives, None and flat lists of primitives —
+and anything nested is rejected *before* it can reach a snapshot, so the
+wire format never has to represent a value it cannot round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.base import Dataset, DirtReport
+from repro.datasets.snapshot import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset,
+    save_dataset,
+)
+from repro.graph import PropertyGraph
+from repro.graph.errors import InvalidPropertyError
+from repro.service.jobs import graph_fingerprint
+
+AWKWARD_NODE_PROPS = {
+    "unicode": "héllo wörld — ßß 中文 🦜",
+    "rtl": "שלום עולם",
+    "combining": "éclair",            # e + combining acute
+    "empty": "",
+    "none": None,
+    "zero": 0,
+    "negative": -17,
+    "float": 3.5,
+    "bool_true": True,
+    "bool_false": False,
+    "list_ints": [3, 1, 2],
+    "list_mixed": [1, "a", True, 2.5],
+    "list_empty": [],
+}
+
+AWKWARD_EDGE_PROPS = {
+    "note": "crème brûlée > naïve café",
+    "weights": [0.5, -1.25, 99],
+    "tags": ["α", "β"],
+    "missing": None,
+}
+
+
+def awkward_dataset() -> Dataset:
+    graph = PropertyGraph("awkward")
+    graph.add_node("n1", "Thing", dict(AWKWARD_NODE_PROPS))
+    graph.add_node("n2", ("Thing", "Détail"), {"label_test": "värde"})
+    graph.add_edge("e1", "RELATES", "n1", "n2", dict(AWKWARD_EDGE_PROPS))
+    return Dataset(graph=graph, true_rules=[], dirt=DirtReport())
+
+
+class TestAwkwardValues:
+    def test_dict_round_trip_preserves_every_value(self):
+        dataset = awkward_dataset()
+        rebuilt = dataset_from_dict(dataset_to_dict(dataset))
+        assert rebuilt.graph.node("n1").properties == AWKWARD_NODE_PROPS
+        assert rebuilt.graph.edge("e1").properties == AWKWARD_EDGE_PROPS
+        assert rebuilt.graph.node("n2").labels == frozenset(
+            {"Thing", "Détail"}
+        )
+
+    def test_file_round_trip_preserves_the_fingerprint(self, tmp_path):
+        dataset = awkward_dataset()
+        path = save_dataset(dataset, tmp_path / "awkward.json")
+        rebuilt = load_dataset(path)
+        assert graph_fingerprint(rebuilt.graph) == graph_fingerprint(
+            dataset.graph
+        )
+        assert rebuilt.graph.node("n1").properties == AWKWARD_NODE_PROPS
+
+    def test_double_round_trip_is_stable(self, tmp_path):
+        dataset = awkward_dataset()
+        once = load_dataset(save_dataset(dataset, tmp_path / "one.json"))
+        twice = load_dataset(save_dataset(once, tmp_path / "two.json"))
+        assert dataset_to_dict(once) == dataset_to_dict(twice)
+
+    def test_none_valued_property_is_kept_not_dropped(self):
+        dataset = awkward_dataset()
+        rebuilt = dataset_from_dict(dataset_to_dict(dataset))
+        properties = rebuilt.graph.node("n1").properties
+        assert "none" in properties
+        assert properties["none"] is None
+        assert rebuilt.graph.edge("e1").properties["missing"] is None
+
+    def test_list_values_keep_order_and_element_types(self):
+        dataset = awkward_dataset()
+        rebuilt = dataset_from_dict(dataset_to_dict(dataset))
+        properties = rebuilt.graph.node("n1").properties
+        assert properties["list_ints"] == [3, 1, 2]       # order preserved
+        assert properties["list_mixed"] == [1, "a", True, 2.5]
+        assert properties["list_mixed"][2] is True        # bool, not int
+        assert properties["list_empty"] == []
+
+    def test_tuple_input_normalises_to_list_and_round_trips(self, tmp_path):
+        graph = PropertyGraph("tuples")
+        graph.add_node("n", "T", {"v": (1, 2, 3)})
+        dataset = Dataset(graph=graph, true_rules=[], dirt=DirtReport())
+        rebuilt = load_dataset(save_dataset(dataset, tmp_path / "t.json"))
+        assert rebuilt.graph.node("n").properties["v"] == [1, 2, 3]
+
+    @pytest.mark.parametrize("value", [
+        "plain text with spaces",
+        "line\nbreaks\tand tabs",
+        'quotes " and \' and \\ backslash',
+        "😀 astral-plane emoji",
+    ])
+    def test_tricky_strings_survive(self, tmp_path, value):
+        graph = PropertyGraph("strings")
+        graph.add_node("n", "T", {"v": value})
+        dataset = Dataset(graph=graph, true_rules=[], dirt=DirtReport())
+        rebuilt = load_dataset(save_dataset(dataset, tmp_path / "s.json"))
+        assert rebuilt.graph.node("n").properties["v"] == value
+
+    @pytest.mark.parametrize("value", [
+        {"a": 1},                     # maps are not storable
+        [1, [2, 3]],                  # nested lists are not storable
+        [None],                       # None inside a list is not storable
+        [{"k": "v"}],
+    ])
+    def test_nested_values_are_rejected_before_snapshotting(self, value):
+        # the model mirrors Neo4j's storable types: rejection happens at
+        # the graph boundary, so snapshots never contain nested values
+        graph = PropertyGraph("nested")
+        with pytest.raises(InvalidPropertyError):
+            graph.add_node("n", "T", {"v": value})
+        graph.add_node("n", "T", {})
+        with pytest.raises(InvalidPropertyError):
+            graph.update_node("n", {"v": value})
+
+    def test_mutated_then_snapshotted_graph_round_trips(self, tmp_path):
+        # the watch-mode path: mutate under batch(), then re-snapshot
+        dataset = awkward_dataset()
+        with dataset.graph.batch():
+            dataset.graph.update_node("n1", {"unicode": "ωmega", "new": None})
+            dataset.graph.add_node("n3", "Thing", {"π": 3.14159})
+        rebuilt = load_dataset(save_dataset(dataset, tmp_path / "m.json"))
+        assert rebuilt.graph.node("n1").properties["unicode"] == "ωmega"
+        assert rebuilt.graph.node("n1").properties["new"] is None
+        assert rebuilt.graph.node("n3").properties == {"π": 3.14159}
+        assert graph_fingerprint(rebuilt.graph) == graph_fingerprint(
+            dataset.graph
+        )

@@ -12,7 +12,7 @@ layer or below::
       < rules
       < correction, metrics, encoding, llm, prompts, rag, datasets, obs
       < mining
-      < experiments, gateway, service
+      < experiments, gateway, service, stream
 
 An upward import (``repro.cypher`` importing ``repro.mining``) couples
 the foundations to their consumers and eventually turns into an import
@@ -60,6 +60,7 @@ LAYERS = {
     "experiments": 6,
     "gateway": 6,
     "service": 6,
+    "stream": 6,
 }
 
 #: names a module may re-export without "using" them (init conventions)
