@@ -39,12 +39,22 @@ from repro.analysis.findings import (
     Verdict,
     worst,
 )
+from repro.analysis.fixes import FixCandidate, FixSynthesizer
+from repro.analysis.implication import (
+    QueryParts,
+    domain_entails,
+    implies,
+    query_parts,
+)
 from repro.analysis.satisfiability import analyze_satisfiability
 from repro.analysis.typecheck import analyze_types
 
 __all__ = [
     "AnalysisReport",
     "Finding",
+    "FixCandidate",
+    "FixSynthesizer",
+    "QueryParts",
     "RuleTriage",
     "StaticAnalyzer",
     "VarInfo",
@@ -57,5 +67,8 @@ __all__ = [
     "canonical_form",
     "canonical_renaming",
     "canonical_signature",
+    "domain_entails",
+    "implies",
+    "query_parts",
     "worst",
 ]

@@ -225,6 +225,15 @@ class TypeChecker:
                 self.check_expression(child)
 
     def _check_comparison(self, expr: BinaryOp) -> None:
+        for side in (expr.left, expr.right):
+            if isinstance(side, Literal) and side.value is None:
+                self.findings.append(Finding(
+                    PASS, "comparison-with-null",
+                    f"'{expr.op}' against NULL is always null, never "
+                    "true; use IS NULL / IS NOT NULL instead",
+                    subject=render_expression(expr),
+                ))
+                return
         left = self.classes(expr.left)
         right = self.classes(expr.right)
         if left is None or right is None:

@@ -49,6 +49,39 @@ _PRIORITY = (
 )
 
 
+def _first_position(report: LintReport, category: ErrorCategory) -> float:
+    positions = [
+        issue.position
+        for issue in report.issues
+        if issue.category is category and issue.position is not None
+    ]
+    return min(positions) if positions else float("inf")
+
+
+def _primary_category(report: LintReport) -> Optional[ErrorCategory]:
+    """The paper's Table 6 primary category, with positional ordering.
+
+    A query that both has a syntax problem and a wrong direction counts
+    as syntax-primary only when the syntax error *precedes* the
+    direction conjunct in the query text; a genuine parse failure has no
+    direction findings at all (no AST), so it stays syntax-primary
+    automatically.
+    """
+    categories = report.categories()
+    primary = next(
+        (category for category in _PRIORITY if category in categories),
+        None,
+    )
+    if (
+        primary is ErrorCategory.SYNTAX
+        and ErrorCategory.DIRECTION in categories
+        and _first_position(report, ErrorCategory.DIRECTION)
+        < _first_position(report, ErrorCategory.SYNTAX)
+    ):
+        primary = ErrorCategory.DIRECTION
+    return primary
+
+
 class QueryClassifier:
     """Applies the §4.4 criteria against an inferred schema.
 
@@ -77,11 +110,7 @@ class QueryClassifier:
                 query=query_text, is_correct=True,
                 primary_category=None, report=report, analysis=analysis,
             )
-        categories = report.categories()
-        primary = next(
-            (category for category in _PRIORITY if category in categories),
-            None,
-        )
+        primary = _primary_category(report)
         return Classification(
             query=query_text, is_correct=False,
             primary_category=primary, report=report, analysis=analysis,

@@ -73,6 +73,9 @@ class LintIssue:
     category: ErrorCategory
     message: str
     subject: Optional[str] = None  # variable/label/property concerned
+    #: character offset of the offending construct in the query text,
+    #: when known — the classifier breaks primary-category ties on it
+    position: Optional[int] = None
 
 
 @dataclass
@@ -118,7 +121,11 @@ class Linter:
         except CypherSyntaxError as exc:
             report.parse_failed = True
             report.issues.append(
-                LintIssue(ErrorCategory.SYNTAX, f"parse error: {exc}")
+                LintIssue(
+                    ErrorCategory.SYNTAX,
+                    f"parse error: {exc}",
+                    position=exc.position or 0,
+                )
             )
             return report
         self._lint_query(query, report)
@@ -238,6 +245,7 @@ class Linter:
                 for dst in dst_labels
             )
             if backward:
+                offset = report.query_text.find(f":{rel_type}")
                 report.issues.append(
                     LintIssue(
                         ErrorCategory.DIRECTION,
@@ -245,6 +253,7 @@ class Linter:
                         f"{'/'.join(src_labels)} to {'/'.join(dst_labels)}; "
                         "the opposite direction exists in the data",
                         subject=rel_type,
+                        position=offset if offset >= 0 else None,
                     )
                 )
             else:
@@ -318,11 +327,13 @@ class Linter:
             return
         if isinstance(expr, BinaryOp):
             if expr.op == "=" and self._is_regex_equality(expr):
+                offset = report.query_text.find(expr.right.value)
                 report.issues.append(
                     LintIssue(
                         ErrorCategory.SYNTAX,
                         "'=' used to compare against a regular expression; "
                         "the regex-match operator is '=~'",
+                        position=offset if offset >= 0 else None,
                     )
                 )
             self._lint_expression(expr.left, report, node_vars, edge_vars)

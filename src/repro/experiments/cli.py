@@ -7,6 +7,9 @@ Usage::
     repro-experiments table3 --seed 7
     repro-experiments figures       # pipeline trace + §4.5 counts
     repro-experiments analyze       # static-analysis triage report
+    repro-experiments analyze --json  # one finding object per rule
+    repro-experiments refine        # refine-loop yield per retry budget
+    repro-experiments refine --smoke  # CI gate: >=1 UNSAT rule repaired
     repro-experiments table5 --obs  # plus observability summary
     repro-experiments table5 --trace-out trace.jsonl
 
@@ -468,6 +471,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.perf import perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "refine":
+        from repro.experiments.refine_report import refine_main
+
+        return refine_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -502,6 +509,14 @@ def main(argv: list[str] | None = None) -> int:
             "EXPLAIN tree for a sample of final mined queries"
         ),
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help=(
+            "with the 'analyze' target: emit one JSON finding object "
+            "per mined rule instead of the tables (the CI artifact "
+            "format, shared with the refine loop's reports)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     requested = args.targets or ["all"]
@@ -514,12 +529,21 @@ def main(argv: list[str] | None = None) -> int:
         requested = [t for t in TARGETS if t != "all"]
     if args.explain and "analyze" not in requested:
         parser.error("--explain requires the 'analyze' target")
+    if args.json and requested != ["analyze"]:
+        parser.error("--json requires exactly the 'analyze' target")
 
     collector = None
     if args.obs or args.trace_out:
         collector = obs.install()
     try:
         runner = ExperimentRunner(base_seed=args.seed)
+        if args.json:
+            import json as json_module
+
+            print(json_module.dumps(
+                triage.findings_json(runner), indent=2
+            ))
+            return 0
         outputs = [emit(target, runner) for target in requested]
         if args.explain:
             outputs.append(_explain_mined_queries(runner))

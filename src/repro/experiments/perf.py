@@ -25,6 +25,7 @@ from repro.mining.runner import ExperimentRunner
 
 __all__ = [
     "IGNORED_METRICS",
+    "REFINE_WORKLOAD",
     "STREAM_WORKLOAD",
     "WORKLOAD",
     "collect_profile",
@@ -52,6 +53,19 @@ STREAM_WORKLOAD = {
     "min_eval_savings": 5.0,
 }
 
+#: the refine phase: one fault-stressed cell mined with the refine loop
+#: enabled — gates the ``refine.*`` / ``analysis.fix.*`` counters and
+#: the >=30% recovered-yield floor of the repair machinery
+REFINE_WORKLOAD = {
+    "dataset": "cybersecurity",
+    "model": "mixtral",
+    "prompt_mode": "zero_shot",
+    "unsat_fault_rate": 0.25,
+    "type_fault_rate": 0.15,
+    "budget": 2,
+    "min_yield": 0.30,
+}
+
 #: metric names carrying wall-clock time: machine-dependent, never gated
 IGNORED_METRICS = (
     "cypher.eval_seconds",
@@ -72,7 +86,11 @@ def _label_key(labels: dict[str, object]) -> str:
 def _profile_shell(seed: int) -> dict:
     return {
         "format": _FORMAT,
-        "workload": dict(WORKLOAD, stream=dict(STREAM_WORKLOAD)),
+        "workload": dict(
+            WORKLOAD,
+            stream=dict(STREAM_WORKLOAD),
+            refine=dict(REFINE_WORKLOAD),
+        ),
         "seed": seed,
         "ignore": list(IGNORED_METRICS),
         "counters": {},
@@ -134,6 +152,34 @@ def _run_stream_phase(seed: int) -> None:
         )
 
 
+def _run_refine_phase(seed: int) -> None:
+    """Mine the fault-stressed refine cell and enforce the yield floor.
+
+    Emits the deterministic ``refine.*`` and ``analysis.fix.*``
+    counters the baseline pins, and fails the gate outright when the
+    refine loop recovers fewer than ``min_yield`` of the zero-scored
+    rules within its retry budget — a faster-looking profile that lost
+    its repairs is a regression, not an improvement.
+    """
+    from repro.experiments.refine_report import yield_rows
+
+    spec = REFINE_WORKLOAD
+    rows, _runs = yield_rows(
+        spec["dataset"], spec["model"], spec["prompt_mode"],
+        budgets=(spec["budget"],), seed=seed,
+        unsat_rate=spec["unsat_fault_rate"],
+        type_rate=spec["type_fault_rate"],
+    )
+    row = rows[0]
+    if row["zero_scored"] and row["yield"] < spec["min_yield"]:
+        raise AssertionError(
+            "refine phase lost its recovery floor: "
+            f"{row['recovered']} of {row['zero_scored']} zero-scored "
+            f"rules recovered ({row['yield']:.0%}; need "
+            f">={spec['min_yield']:.0%} at budget {spec['budget']})"
+        )
+
+
 def collect_profile(seed: int = 0) -> dict:
     """Run the gate workload under a fresh collector and profile it."""
     from repro.cypher import clear_plan_caches
@@ -153,6 +199,7 @@ def collect_profile(seed: int = 0) -> dict:
                 method, WORKLOAD["prompt_mode"],
             )
         _run_stream_phase(seed)
+        _run_refine_phase(seed)
     finally:
         if previous is not None:
             obs.install(previous)

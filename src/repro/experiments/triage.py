@@ -48,6 +48,37 @@ def build(runner: ExperimentRunner) -> Table:
     return table
 
 
+def findings_json(runner: ExperimentRunner) -> list[dict]:
+    """One finding object per mined rule, across the whole grid.
+
+    The machine-readable companion to :func:`build`: CI archives it as
+    an artifact, and the refine loop's reports share the same shape, so
+    a dashboard (or a later pipeline stage) can join the two on the
+    cell coordinates plus the rule text.
+    """
+    records: list[dict] = []
+    for dataset in DATASET_NAMES:
+        for run in runner.run_dataset(dataset):
+            for result in run.results:
+                if result.analysis is None:
+                    continue
+                record = {
+                    "dataset": run.dataset,
+                    "model": run.model,
+                    "method": run.method,
+                    "prompt_mode": run.prompt_mode,
+                    "rule": result.rule.text or result.rule.describe(),
+                    "query": result.outcome.final_query,
+                    "triage_skipped": result.triage_skipped,
+                    "support": result.metrics.support,
+                    **result.analysis.to_dict(),
+                }
+                if result.refinement is not None:
+                    record["refinement"] = result.refinement.to_dict()
+                records.append(record)
+    return records
+
+
 def finding_census(runner: ExperimentRunner) -> Table:
     """Counts of individual finding codes across the whole grid."""
     table = Table(

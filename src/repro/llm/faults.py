@@ -23,7 +23,16 @@ import threading
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.cypher.ast_nodes import MatchClause, RelPattern, SingleQuery
+from repro.cypher.ast_nodes import (
+    BinaryOp,
+    Literal,
+    MatchClause,
+    NodePattern,
+    PropertyAccess,
+    RelPattern,
+    SingleQuery,
+    Variable,
+)
 from repro.cypher.parser import parse
 from repro.cypher.render import render_query
 from repro.llm.profiles import ModelProfile
@@ -41,7 +50,8 @@ class InjectionResult:
     """The possibly-faulted query and what was done to it."""
 
     query: str
-    fault: Optional[str]            # 'direction' | 'syntax' | 'property'
+    #: 'direction' | 'syntax' | 'property' | 'unsat' | 'type'
+    fault: Optional[str]
 
 
 def flip_first_direction(query_text: str) -> Optional[str]:
@@ -137,6 +147,105 @@ def inject_property_fault(
     )
 
 
+def inject_unsat_fault(
+    query_text: str, rng: random.Random
+) -> Optional[str]:
+    """Append a contradictory WHERE conjunct, or None.
+
+    The result still parses and passes the linter, but the static
+    analyzer proves it can never return a row — the "semantically
+    broken but syntactically fine" failure class the refine loop's fix
+    synthesis exists to repair.  Two flavours, both reversible by a
+    single drop-conjunct rewrite:
+
+    * ``v.key < NULL`` — comparisons against NULL are never true;
+    * ``v.key > hi AND v.key < lo`` — an empty interval.
+    """
+    try:
+        query = parse(query_text)
+    except Exception:
+        return None
+    if not isinstance(query, SingleQuery):
+        return None
+    for index, clause in enumerate(query.clauses):
+        if not isinstance(clause, MatchClause) or clause.optional:
+            continue
+        variables = [
+            element.variable
+            for pattern in clause.patterns
+            for element in pattern.elements
+            if isinstance(element, NodePattern) and element.variable
+        ]
+        if not variables:
+            continue
+        name = rng.choice(variables)
+        keys = re.findall(rf"\b{re.escape(name)}\.(\w+)", query_text)
+        subject = PropertyAccess(Variable(name), keys[0] if keys else "id")
+        if rng.random() < 0.5:
+            extra: BinaryOp = BinaryOp("<", subject, Literal(None))
+        else:
+            extra = BinaryOp(
+                "AND",
+                BinaryOp(">", subject, Literal(1000000)),
+                BinaryOp("<", subject, Literal(0)),
+            )
+        where = (
+            extra if clause.where is None
+            else BinaryOp("AND", clause.where, extra)
+        )
+        clauses = list(query.clauses)
+        clauses[index] = MatchClause(
+            patterns=clause.patterns, optional=clause.optional, where=where,
+        )
+        return render_query(SingleQuery(clauses=tuple(clauses)))
+    return None
+
+
+#: a property compared (or IN-listed) against plain numeric literals
+_NUMERIC_COMPARISON = re.compile(
+    r"(\.\w+\s*(?:<=|>=|<>|[=<>])\s*)(\d+(?:\.\d+)?)(?![\w.])"
+)
+_NUMERIC_IN_LIST = re.compile(r"\bIN \[([^\]]*)\]")
+_ALL_NUMERIC = re.compile(
+    r"\s*\d+(?:\.\d+)?(?:\s*,\s*\d+(?:\.\d+)?)*\s*"
+)
+
+
+def inject_type_fault(
+    query_text: str, rng: random.Random
+) -> Optional[str]:
+    """Re-type a numeric literal in a comparison as a string, or None.
+
+    ``n.id > 3`` becomes ``n.id > '3'`` — parse-clean, linter-clean,
+    but the type checker flags the disjoint classes and the comparison
+    is null at runtime.  The literal stays *coercible* so the
+    retype-comparison fix can mechanically restore it.
+    """
+    comparisons = list(_NUMERIC_COMPARISON.finditer(query_text))
+    if comparisons:
+        target = rng.choice(comparisons)
+        return (
+            query_text[:target.start(2)]
+            + f"'{target.group(2)}'"
+            + query_text[target.end(2):]
+        )
+    in_lists = [
+        match for match in _NUMERIC_IN_LIST.finditer(query_text)
+        if _ALL_NUMERIC.fullmatch(match.group(1))
+    ]
+    if in_lists:
+        target = rng.choice(in_lists)
+        quoted = ", ".join(
+            f"'{item.strip()}'" for item in target.group(1).split(",")
+        )
+        return (
+            query_text[:target.start(1)]
+            + quoted
+            + query_text[target.end(1):]
+        )
+    return None
+
+
 # ----------------------------------------------------------------------
 # transient call failures
 # ----------------------------------------------------------------------
@@ -213,4 +322,19 @@ def maybe_inject(
         mangled = inject_property_fault(query_text, rng)
         if mangled is not None:
             return InjectionResult(query=mangled, fault="property")
+    elif roll < (
+        profile.direction_flip_rate + profile.syntax_fault_rate
+        + profile.property_fault_rate + profile.unsat_fault_rate
+    ):
+        contradicted = inject_unsat_fault(query_text, rng)
+        if contradicted is not None:
+            return InjectionResult(query=contradicted, fault="unsat")
+    elif roll < (
+        profile.direction_flip_rate + profile.syntax_fault_rate
+        + profile.property_fault_rate + profile.unsat_fault_rate
+        + profile.type_fault_rate
+    ):
+        retyped = inject_type_fault(query_text, rng)
+        if retyped is not None:
+            return InjectionResult(query=retyped, fault="type")
     return InjectionResult(query=query_text, fault=None)

@@ -46,6 +46,15 @@ class ModelProfile:
     direction_flip_rate: float = 0.05
     syntax_fault_rate: float = 0.08
     property_fault_rate: float = 0.02
+    #: semantic fault rates: parse-clean queries that are provably empty
+    #: (contradictory WHERE) or compare properties against wrongly-typed
+    #: literals.  Zero by default so the paper-grid runs are untouched;
+    #: stress profiles turn them up to exercise the refine loop.
+    unsat_fault_rate: float = 0.0
+    type_fault_rate: float = 0.0
+    #: chance the model actually applies analyzer feedback when a prompt
+    #: carries a "Feedback" section (the refine loop's correction skill)
+    correction_compliance: float = 0.85
 
     def kind_weight(self, kind: RuleKind) -> float:
         return self.kind_weights.get(kind, 0.0)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.prompts.templates import (
     EXAMPLES_SECTION,
+    FEEDBACK_SECTION,
     GRAPH_SECTION,
     RULE_SECTION,
     SCHEMA_SECTION,
@@ -27,7 +28,7 @@ from repro.prompts.templates import (
 )
 
 _SECTIONS = (GRAPH_SECTION, EXAMPLES_SECTION, TASK_SECTION,
-             RULE_SECTION, SCHEMA_SECTION)
+             RULE_SECTION, SCHEMA_SECTION, FEEDBACK_SECTION)
 
 
 def extract_section(prompt: str, header: str) -> str | None:

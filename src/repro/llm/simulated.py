@@ -20,7 +20,9 @@ windows get different noise.
 
 from __future__ import annotations
 
+import dataclasses
 import random
+import re
 import zlib
 
 from repro import obs
@@ -35,7 +37,9 @@ from repro.llm.prompt_io import (
     parse_visible_graph,
 )
 from repro.prompts.templates import (
+    CORRECTION_TASK,
     EXAMPLES_SECTION,
+    FEEDBACK_SECTION,
     GRAPH_SECTION,
     RULE_SECTION,
     SCHEMA_SECTION,
@@ -78,8 +82,15 @@ class SimulatedLLM:
         with obs.span("llm.call", model=self.profile.name) as sp:
             rng = self._rng_for(prompt)
             if extract_section(prompt, RULE_SECTION) is not None:
-                skill = "cypher"
-                text = self._complete_cypher(prompt, rng)
+                if (
+                    extract_section(prompt, FEEDBACK_SECTION) is not None
+                    and CORRECTION_TASK in prompt
+                ):
+                    skill = "correction"
+                    text = self._complete_correction(prompt, rng)
+                else:
+                    skill = "cypher"
+                    text = self._complete_cypher(prompt, rng)
             elif extract_section(prompt, GRAPH_SECTION) is not None:
                 skill = "rules"
                 text = self._complete_rules(prompt, rng)
@@ -239,5 +250,76 @@ class SimulatedLLM:
             queries = translator.translate(rule)
         except UntranslatableRuleError:
             return "MATCH (n) RETURN count(*) AS support"
+        if extract_section(prompt, FEEDBACK_SECTION) is not None:
+            # regeneration with analyzer feedback: a compliant model
+            # fixes the query it was told is broken; otherwise it still
+            # rerolls the fault dice on a fresh RNG stream
+            if rng.random() < self.profile.correction_compliance:
+                return queries.check
         injected = maybe_inject(queries.check, self.profile, rng)
         return injected.query
+
+    # ------------------------------------------------------------------
+    # rule revision (the refine loop's correction protocol)
+    # ------------------------------------------------------------------
+    _BAD_PROPERTY_RE = re.compile(r"property '([A-Za-z_]\w*)' does not exist")
+    #: value-constrained kinds that relax to a bare existence rule when
+    #: the feedback proves the constraint itself is the problem
+    _RELAXABLE = frozenset({RuleKind.VALUE_DOMAIN, RuleKind.VALUE_FORMAT})
+
+    def _complete_correction(self, prompt: str, rng: random.Random) -> str:
+        rule_text = extract_section(prompt, RULE_SECTION) or ""
+        schema_text = extract_section(prompt, SCHEMA_SECTION) or ""
+        feedback = extract_section(prompt, FEEDBACK_SECTION) or ""
+        rule = from_natural_language(rule_text.strip())
+        if rule is None:
+            return "I cannot parse the rule to revise."
+        if rng.random() >= self.profile.correction_compliance:
+            # non-compliant: restates the rule unchanged
+            return f"1. {to_natural_language(rule)}"
+        schema = parse_schema_summary(schema_text)
+        revised = self._revise_rule(rule, feedback, schema, rng)
+        return f"1. {to_natural_language(revised)}"
+
+    def _revise_rule(
+        self, rule: ConsistencyRule, feedback: str, schema, rng: random.Random
+    ) -> ConsistencyRule:
+        bad_properties = set(self._BAD_PROPERTY_RE.findall(feedback))
+        revised = rule
+        if bad_properties & set(rule.properties):
+            kept = tuple(
+                key for key in rule.properties if key not in bad_properties
+            )
+            if kept:
+                revised = dataclasses.replace(rule, text="", properties=kept)
+            else:
+                # every property was invented: swap in a real one from
+                # the prompt's schema summary, dropping any value
+                # constraint that was about the invented property
+                known = schema.node_properties.get(rule.label or "", [])
+                candidates = [k for k in known if k not in bad_properties]
+                if not candidates:
+                    return rule
+                revised = dataclasses.replace(
+                    rule, text="",
+                    properties=(rng.choice(candidates),),
+                    kind=(
+                        RuleKind.PROPERTY_EXISTS
+                        if rule.kind in self._RELAXABLE else rule.kind
+                    ),
+                    allowed_values=(),
+                    pattern_regex=None,
+                )
+        lowered = feedback.lower()
+        if (
+            "unsatisfiable" in lowered
+            or "type-confused" in lowered
+            or "comparison-with-null" in lowered
+        ) and revised.kind in self._RELAXABLE:
+            # the value constraint is what the analyzer disproved:
+            # relax to the existence rule it strictly implies
+            revised = dataclasses.replace(
+                revised, text="", kind=RuleKind.PROPERTY_EXISTS,
+                allowed_values=(), pattern_regex=None,
+            )
+        return revised

@@ -62,8 +62,11 @@ class ParallelSlidingWindowPipeline(BasePipeline):
         window_size: int = DEFAULT_WINDOW_SIZE,
         overlap: int = DEFAULT_OVERLAP,
         base_seed: int = 0,
+        refine_budget: int = 0,
     ) -> None:
-        super().__init__(context, base_seed=base_seed)
+        super().__init__(
+            context, base_seed=base_seed, refine_budget=refine_budget
+        )
         if workers <= 0:
             raise ValueError("workers must be positive")
         self.workers = workers
@@ -204,8 +207,12 @@ class ParallelSlidingWindowPipeline(BasePipeline):
                 per_window_rules, profile, prompt_mode,
                 self.run_rng(profile.name, prompt_mode),
             )
-            # the second (Cypher) step is small; run it on replica 0
-            self.translate_and_score(run, combined.rules, replicas[0])
+            # the second (Cypher) step is small; run it on replica 0.
+            # Same semantic dedup as the sequential pipeline — rule
+            # selection must be identical either way.
+            self.translate_and_score(
+                run, self.semantic_dedup(combined.rules), replicas[0]
+            )
             # translate_and_score credited replica 0's clock only; the
             # run's totals span every replica
             run.llm_calls = sum(r.clock.calls for r in replicas)

@@ -26,7 +26,9 @@ from repro.metrics.definitions import RuleMetrics
 from repro.metrics.evaluator import evaluate_rule
 from repro.mining.result import MiningRun, RuleResult
 from repro.prompts.templates import cypher_prompt
-from repro.rules.dedup import deduplicate, merge_property_exists
+from repro.refine import RefineLoop
+from repro.refine.loop import TARGET_CODES
+from repro.rules.dedup import deduplicate, merge_property_exists, prune_implied
 from repro.rules.model import ConsistencyRule, RuleKind
 from repro.rules.nl import parse_rule_list
 
@@ -218,9 +220,18 @@ class BasePipeline:
 
     method = "base"
 
-    def __init__(self, context: PipelineContext, base_seed: int = 0) -> None:
+    def __init__(
+        self,
+        context: PipelineContext,
+        base_seed: int = 0,
+        refine_budget: int = 0,
+    ) -> None:
         self.context = context
         self.base_seed = base_seed
+        #: LLM retries the refine loop may spend per broken rule; 0
+        #: (the default) disables refinement so paper-grid runs are
+        #: bit-identical to the pre-refine pipeline
+        self.refine_budget = refine_budget
         self.corrector = QueryCorrector(context.schema)
         #: shared semantic analyzer (also used by the corrector's
         #: classifier); set to None to disable pre-execution triage
@@ -279,13 +290,18 @@ class BasePipeline:
         ``combine_and_cap`` dedups by field signature, which treats the
         same constraint written with swapped endpoint order as two rules;
         the analyzer's canonical form catches those before the Cypher
-        step pays for both.
+        step pays for both.  Implication pruning then drops rules a
+        strictly-stronger survivor provably subsumes (A ⇒ B keeps A,
+        records B in ``A.implied_by``).
         """
         kept = deduplicate(rules, schema=self.context.schema)
         collapsed = len(rules) - len(kept)
         if collapsed:
             obs.inc("analysis.semantic_duplicates", collapsed)
-        return kept
+        pruned = prune_implied(kept, self.context.schema)
+        if len(pruned) < len(kept):
+            obs.inc("analysis.implied_pruned", len(kept) - len(pruned))
+        return pruned
 
     # ------------------------------------------------------------------
     def translate_and_score(
@@ -296,6 +312,13 @@ class BasePipeline:
     ) -> None:
         """Second LLM step, correction protocol, metric evaluation."""
         clock_before = llm.clock.elapsed_seconds
+        refiner = (
+            RefineLoop(
+                self.corrector, self.context.schema_summary, llm,
+                graph=self.context.graph, budget=self.refine_budget,
+            )
+            if self.refine_budget > 0 else None
+        )
         for rule in rules:
             with obs.span(
                 "translate", rule_kind=rule.kind.name, rule=rule.text
@@ -315,9 +338,26 @@ class BasePipeline:
                     )
                 else:
                     metrics = RuleMetrics(support=0, relevant=0, body=0)
+                refinement = None
+                if refiner is not None and (
+                    skipped
+                    or outcome.metric_queries is None
+                    or metrics.support == 0
+                ):
+                    refinement = refiner.refine(rule, outcome)
+                    sp.set_attribute("refined", refinement.recovered)
+                    if refinement.recovered:
+                        rule = refinement.rule
+                        outcome = refinement.outcome
+                        analysis = refinement.analysis
+                        skipped = refinement.triage_skipped
+                        metrics = refinement.metrics or RuleMetrics(
+                            support=0, relevant=0, body=0
+                        )
                 run.results.append(RuleResult(
                     rule=rule, outcome=outcome, metrics=metrics,
                     analysis=analysis, triage_skipped=skipped,
+                    refinement=refinement,
                 ))
         run.cypher_seconds = llm.clock.elapsed_seconds - clock_before
         run.llm_calls = llm.clock.calls
@@ -328,10 +368,12 @@ class BasePipeline:
         """Statically analyze one corrected query before execution.
 
         Returns ``(analysis_report, skip_evaluation)``.  Evaluation is
-        skipped only when the rule's *satisfy* query is provably unable
-        to produce a row (UNSAT) or unable to run at all (parse error):
-        support is then certainly 0, and the rule scores zero across the
-        board — the same convention untranslatable rules already get.
+        skipped when the rule's *satisfy* query is provably unable to
+        produce a row (UNSAT) or unable to run at all (parse error) —
+        support is then certainly 0 — and also when the *delivered*
+        final query is statically doomed or nulls its own comparisons
+        (type confusion): the mined rule was never validly checked, so
+        it scores zero until the refine loop repairs it.
         """
         if self.analyzer is None:
             return None, False
@@ -339,11 +381,16 @@ class BasePipeline:
         obs.inc(f"analysis.verdict.{analysis.verdict.value}")
         obs.observe("analysis.findings", len(analysis.findings))
         skipped = False
-        if outcome.metric_queries is not None:
+        if analysis.verdict.dooms_execution or (
+            TARGET_CODES & analysis.codes()
+        ):
+            skipped = True
+        elif outcome.metric_queries is not None:
             triage = self.analyzer.triage(outcome.metric_queries.satisfy)
             if not triage.should_evaluate:
                 skipped = True
-                obs.inc("analysis.triaged_out")
+        if skipped:
+            obs.inc("analysis.triaged_out")
         return analysis, skipped
 
     @staticmethod

@@ -35,8 +35,11 @@ class RAGPipeline(BasePipeline):
         chunk_tokens: int = DEFAULT_CHUNK_TOKENS,
         top_k: int = DEFAULT_TOP_K,
         base_seed: int = 0,
+        refine_budget: int = 0,
     ) -> None:
-        super().__init__(context, base_seed=base_seed)
+        super().__init__(
+            context, base_seed=base_seed, refine_budget=refine_budget
+        )
         self.retriever = GraphRetriever(
             chunk_tokens=chunk_tokens, top_k=top_k
         )

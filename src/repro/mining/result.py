@@ -8,6 +8,7 @@ from typing import Optional
 from repro.analysis.findings import AnalysisReport
 from repro.correction.corrector import CorrectionOutcome
 from repro.metrics.definitions import AggregateMetrics, RuleMetrics, aggregate
+from repro.refine.loop import RefineResult
 from repro.rules.model import ConsistencyRule
 
 
@@ -22,6 +23,8 @@ class RuleResult:
     analysis: Optional[AnalysisReport] = None
     #: metric evaluation was skipped because the bundle is statically doomed
     triage_skipped: bool = False
+    #: what the refine loop did, when it ran (None: never triggered)
+    refinement: Optional[RefineResult] = None
 
 
 @dataclass
@@ -93,6 +96,22 @@ class MiningRun:
             verdict = result.analysis.verdict.value
             census[verdict] = census.get(verdict, 0) + 1
         return census
+
+    # refinement -----------------------------------------------------
+    @property
+    def refined(self) -> int:
+        """Rules the refine loop was invoked on."""
+        return sum(
+            1 for result in self.results if result.refinement is not None
+        )
+
+    @property
+    def recovered(self) -> int:
+        """Rules the refine loop brought back to a healthy, scored state."""
+        return sum(
+            1 for result in self.results
+            if result.refinement is not None and result.refinement.recovered
+        )
 
     def key(self) -> tuple[str, str, str, str]:
         return (self.dataset, self.model, self.method, self.prompt_mode)

@@ -32,8 +32,11 @@ class SlidingWindowPipeline(BasePipeline):
         window_size: int = DEFAULT_WINDOW_SIZE,
         overlap: int = DEFAULT_OVERLAP,
         base_seed: int = 0,
+        refine_budget: int = 0,
     ) -> None:
-        super().__init__(context, base_seed=base_seed)
+        super().__init__(
+            context, base_seed=base_seed, refine_budget=refine_budget
+        )
         self.chunker = SlidingWindowChunker(
             window_size=window_size, overlap=overlap
         )

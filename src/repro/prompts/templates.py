@@ -14,6 +14,11 @@ EXAMPLES_SECTION = "### Examples of consistency rules:"
 TASK_SECTION = "### Task:"
 RULE_SECTION = "### Rule:"
 SCHEMA_SECTION = "### Property graph information:"
+FEEDBACK_SECTION = "### Feedback on the previous attempt:"
+
+#: marker sentence distinguishing the rule-revision task from Cypher
+#: generation (both carry a rule section; only one asks for a new rule)
+CORRECTION_TASK = "Revise the rule"
 
 _RULES_TASK = (
     "Generate consistency rules for this property graph, in terms of "
@@ -73,6 +78,44 @@ def few_shot_prompt(graph_text: str, examples: str) -> str:
     return FEW_SHOT_TEMPLATE.format(graph=graph_text, examples=examples)
 
 
-def cypher_prompt(rule_text: str, schema_summary: str) -> str:
-    """Second-step prompt: translate one NL rule into Cypher."""
-    return CYPHER_TEMPLATE.format(rule=rule_text, schema=schema_summary)
+CORRECTION_TEMPLATE = f"""You are an expert in property graph data quality.
+A consistency rule was mined, but checking it failed; the analyzer
+findings are below.
+
+{RULE_SECTION}
+{{rule}}
+
+{SCHEMA_SECTION}
+{{schema}}
+
+{FEEDBACK_SECTION}
+{{feedback}}
+
+{TASK_SECTION}
+{CORRECTION_TASK} so it avoids every problem in the feedback while
+staying as close as possible to the original intent. State the revised
+rule as exactly one sentence on its own line.
+"""
+
+
+def cypher_prompt(
+    rule_text: str, schema_summary: str, feedback: str | None = None
+) -> str:
+    """Second-step prompt: translate one NL rule into Cypher.
+
+    ``feedback`` (analyzer findings from a failed earlier attempt) is
+    appended as its own section — the refine loop's regeneration hint.
+    """
+    prompt = CYPHER_TEMPLATE.format(rule=rule_text, schema=schema_summary)
+    if feedback:
+        prompt += f"\n{FEEDBACK_SECTION}\n{feedback}\n"
+    return prompt
+
+
+def correction_prompt(
+    rule_text: str, schema_summary: str, feedback: str
+) -> str:
+    """Rule-revision prompt: fix the rule the feedback complains about."""
+    return CORRECTION_TEMPLATE.format(
+        rule=rule_text, schema=schema_summary, feedback=feedback,
+    )

@@ -1,0 +1,28 @@
+"""Iterative rule refinement: closing the analyzer → correction loop.
+
+The paper's §4.4 protocol repairs broken generated Cypher *by hand*;
+:mod:`repro.analysis` (PR 3) proves mechanically *why* a rule is broken
+but used to just score it zero.  This package closes the loop, in the
+spirit of the Multi-Agent GraphRAG text-to-Cypher framework (PAPERS.md):
+
+generate → lint → analyze → **apply-fix-or-regenerate-with-hint** →
+execute → critique, bounded by a retry budget.
+
+Two repair strategies, tried in order of cost:
+
+1. **mechanical fix** — :class:`repro.analysis.fixes.FixSynthesizer`
+   turns findings into provably-safe AST rewrites (free: no LLM call);
+2. **regeneration with feedback** — finding text goes back into the
+   simulated LLM as a ``### Feedback`` section, first to re-translate
+   the same rule, then (when the *rule* itself is implicated, e.g. a
+   hallucinated property) to revise the rule sentence through the
+   correction skill.
+
+The loop is off by default (``refine_budget=0`` everywhere) so the
+paper-grid runs are bit-identical; ``repro-experiments refine`` measures
+recovered-rule yield per retry budget on stress profiles.
+"""
+
+from repro.refine.loop import RefineAttempt, RefineLoop, RefineResult
+
+__all__ = ["RefineAttempt", "RefineLoop", "RefineResult"]

@@ -1,0 +1,287 @@
+"""The bounded generate → lint → analyze → fix/regenerate → execute →
+critique loop."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import obs
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.fixes import FixCandidate, FixSynthesizer
+from repro.correction.corrector import CorrectionOutcome, QueryCorrector
+from repro.metrics.definitions import RuleMetrics
+from repro.metrics.evaluator import evaluate_rule
+from repro.prompts.templates import correction_prompt, cypher_prompt
+from repro.rules.model import ConsistencyRule
+from repro.rules.nl import parse_rule_list
+
+#: WARN-level defect codes worth repairing even though they do not doom
+#: execution — they silently null the comparison at runtime
+TARGET_CODES = frozenset({
+    "type-confused-comparison",
+    "type-confused-in-list",
+    "comparison-with-null",
+    "use-before-bind",
+})
+
+
+@dataclass(frozen=True)
+class _Diagnosis:
+    """One full critique of a (rule, outcome) pair."""
+
+    healthy: bool
+    feedback: tuple[str, ...]
+    rule_level: bool            # the rule sentence itself is implicated
+    analysis: Optional[AnalysisReport]
+    metrics: Optional[RuleMetrics]
+    triage_skipped: bool
+
+
+@dataclass(frozen=True)
+class RefineAttempt:
+    """One round of the loop, for provenance and reports."""
+
+    round: int
+    strategy: str               # 'fix' | 'regenerate'
+    detail: str
+    healthy: bool
+
+
+@dataclass
+class RefineResult:
+    """What the loop settled on for one broken rule."""
+
+    rule: ConsistencyRule
+    outcome: CorrectionOutcome
+    recovered: bool
+    attempts: list[RefineAttempt] = field(default_factory=list)
+    analysis: Optional[AnalysisReport] = None
+    metrics: Optional[RuleMetrics] = None
+    triage_skipped: bool = False
+    fix: Optional[FixCandidate] = None
+    llm_calls: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "recovered": self.recovered,
+            "llm_calls": self.llm_calls,
+            "attempts": [
+                {
+                    "round": attempt.round,
+                    "strategy": attempt.strategy,
+                    "detail": attempt.detail,
+                    "healthy": attempt.healthy,
+                }
+                for attempt in self.attempts
+            ],
+            "fix": self.fix.to_dict() if self.fix else None,
+        }
+
+
+class RefineLoop:
+    """Repairs one broken rule within a bounded retry budget.
+
+    A *mechanical* fix (AST rewrite, re-verified by the analyzer) is
+    always tried first because it costs no LLM call; only then does the
+    loop spend its ``budget`` on regeneration — the analyzer findings go
+    back into the prompt as a ``### Feedback`` section, and when the
+    rule sentence itself is implicated (hallucinated property,
+    untranslatable, provably-empty constraint) the rule is first revised
+    through the simulated LLM's correction skill.
+    """
+
+    def __init__(
+        self,
+        corrector: QueryCorrector,
+        schema_summary: str,
+        llm,
+        graph=None,
+        budget: int = 2,
+    ) -> None:
+        self.corrector = corrector
+        self.analyzer = corrector.analyzer
+        self.schema_summary = schema_summary
+        self.llm = llm
+        self.graph = graph
+        self.budget = budget
+        self.fixer = FixSynthesizer(
+            schema=corrector.schema, analyzer=corrector.analyzer
+        )
+
+    # ------------------------------------------------------------------
+    def refine(
+        self, rule: ConsistencyRule, outcome: CorrectionOutcome
+    ) -> RefineResult:
+        """Run the loop; on exhaustion the original pair is returned."""
+        obs.inc("refine.attempts")
+        diagnosis = self._diagnose(outcome)
+        if diagnosis.healthy:
+            return self._result(rule, outcome, diagnosis, True, [], None, 0)
+
+        attempts: list[RefineAttempt] = []
+        calls = 0
+        fix: Optional[FixCandidate] = None
+
+        # strategy 1: mechanical fix — free, so it never costs budget
+        candidate = self.fixer.repair(
+            outcome.final_query, target_codes=TARGET_CODES
+        )
+        self._drain_fix_counters()
+        if candidate is not None:
+            patched = dataclasses.replace(
+                outcome, final_query=candidate.fixed, corrected=True,
+            )
+            patched_diagnosis = self._diagnose(patched)
+            attempts.append(RefineAttempt(
+                round=0, strategy="fix", detail=candidate.description,
+                healthy=patched_diagnosis.healthy,
+            ))
+            obs.inc("refine.fix_applied")
+            if patched_diagnosis.healthy:
+                obs.inc("refine.recovered", strategy="fix")
+                return self._result(
+                    rule, patched, patched_diagnosis, True, attempts,
+                    candidate, calls,
+                )
+            outcome, diagnosis, fix = patched, patched_diagnosis, candidate
+
+        # strategy 2: regeneration with targeted hints
+        current_rule, current_diagnosis = rule, diagnosis
+        for round_no in range(1, self.budget + 1):
+            feedback = "\n".join(
+                current_diagnosis.feedback + (f"(attempt {round_no})",)
+            )
+            candidate_rule = current_rule
+            if current_diagnosis.rule_level:
+                completion = self.llm.complete(correction_prompt(
+                    current_rule.text, self.schema_summary, feedback,
+                ))
+                calls += 1
+                revised, _unparsed = parse_rule_list(
+                    completion.text, provenance="refine"
+                )
+                if revised:
+                    candidate_rule = revised[0]
+            completion = self.llm.complete(cypher_prompt(
+                candidate_rule.text, self.schema_summary, feedback=feedback,
+            ))
+            calls += 1
+            new_outcome = self.corrector.correct(
+                candidate_rule, completion.text
+            )
+            new_diagnosis = self._diagnose(new_outcome)
+            obs.inc("refine.regenerated")
+            attempts.append(RefineAttempt(
+                round=round_no, strategy="regenerate",
+                detail=candidate_rule.text, healthy=new_diagnosis.healthy,
+            ))
+            if new_diagnosis.healthy:
+                obs.inc("refine.recovered", strategy="regenerate")
+                return self._result(
+                    candidate_rule, new_outcome, new_diagnosis, True,
+                    attempts, fix, calls,
+                )
+            current_rule, current_diagnosis = candidate_rule, new_diagnosis
+
+        obs.inc("refine.exhausted")
+        return self._result(
+            rule, outcome, diagnosis, False, attempts, fix, calls
+        )
+
+    # ------------------------------------------------------------------
+    # the critique step
+    # ------------------------------------------------------------------
+    def _diagnose(self, outcome: CorrectionOutcome) -> _Diagnosis:
+        feedback: list[str] = []
+        rule_level = False
+
+        if outcome.metric_queries is None:
+            feedback.append(
+                "- the rule could not be translated into Cypher; restate "
+                "it as one simple canonical constraint"
+            )
+            rule_level = True
+
+        analysis = self.analyzer.analyze(outcome.final_query)
+        if analysis.verdict.dooms_execution or (
+            TARGET_CODES & analysis.codes()
+        ):
+            for finding in analysis.findings:
+                if (
+                    finding.severity.dooms_execution
+                    or finding.code in TARGET_CODES
+                ):
+                    feedback.append(
+                        f"- {finding.code}: {finding.message}"
+                    )
+
+        triage_skipped = False
+        metrics: Optional[RuleMetrics] = None
+        if outcome.metric_queries is not None:
+            triage = self.analyzer.triage(outcome.metric_queries.satisfy)
+            if not triage.should_evaluate:
+                triage_skipped = True
+                rule_level = True
+                feedback.append(
+                    "- the rule's own satisfy query is statically "
+                    f"{triage.verdict.value}: it can never match"
+                )
+                feedback.extend(self._lint_feedback(outcome))
+            elif self.graph is not None:
+                metrics = evaluate_rule(self.graph, outcome.metric_queries)
+                if metrics.support == 0:
+                    rule_level = True
+                    feedback.append(
+                        "- the satisfy query returned support 0 on the "
+                        "graph; the rule matches nothing"
+                    )
+                    feedback.extend(self._lint_feedback(outcome))
+
+        return _Diagnosis(
+            healthy=not feedback,
+            feedback=tuple(dict.fromkeys(feedback)),
+            rule_level=rule_level,
+            analysis=analysis,
+            metrics=metrics,
+            triage_skipped=triage_skipped,
+        )
+
+    def _lint_feedback(self, outcome: CorrectionOutcome) -> list[str]:
+        """Lint the rule's satisfy query: its messages name hallucinated
+        properties in the exact phrasing the correction skill parses."""
+        classification = self.corrector.classifier.classify(
+            outcome.metric_queries.satisfy
+        )
+        return [
+            f"- {issue.message}"
+            for issue in classification.report.issues
+        ]
+
+    # ------------------------------------------------------------------
+    def _drain_fix_counters(self) -> None:
+        for (event, kind), count in self.fixer.drain_counters().items():
+            obs.inc(f"analysis.fix.{event}", count, kind=kind)
+
+    def _result(
+        self,
+        rule: ConsistencyRule,
+        outcome: CorrectionOutcome,
+        diagnosis: _Diagnosis,
+        recovered: bool,
+        attempts: list[RefineAttempt],
+        fix: Optional[FixCandidate],
+        calls: int,
+    ) -> RefineResult:
+        return RefineResult(
+            rule=rule,
+            outcome=outcome,
+            recovered=recovered,
+            attempts=attempts,
+            analysis=diagnosis.analysis,
+            metrics=diagnosis.metrics,
+            triage_skipped=diagnosis.triage_skipped,
+            fix=fix,
+            llm_calls=calls,
+        )

@@ -10,10 +10,11 @@ when requested (the paper's example rule covers *date and stage* at once).
 
 from __future__ import annotations
 
+import dataclasses
 from collections import defaultdict
 from typing import Optional
 
-from repro.analysis import StaticAnalyzer
+from repro.analysis import StaticAnalyzer, implies, query_parts
 from repro.graph.schema import GraphSchema
 from repro.rules.model import ConsistencyRule, RuleKind, RuleSet
 from repro.rules.nl import to_natural_language
@@ -62,6 +63,61 @@ def _semantic_key(
     except UntranslatableRuleError:
         return None
     return analyzer.signature(queries.check)
+
+
+def prune_implied(
+    rules: list[ConsistencyRule],
+    schema: GraphSchema,
+) -> list[ConsistencyRule]:
+    """Drop rules provably implied by a strictly-stronger survivor.
+
+    For each pair, the rules' translated *satisfy* queries are compared
+    with :func:`repro.analysis.implication.implies`: when every element
+    satisfying rule A provably satisfies rule B, B adds nothing and is
+    pruned.  The survivor records the pruned texts in ``implied_by`` —
+    the provenance chain transfers, so A ⇒ B ⇒ C leaves A carrying both.
+    Mutually-implied (equivalent) rules keep the earlier occurrence.
+    Rules the translator or the implication engine cannot model are
+    never pruned.
+    """
+    translator = RuleTranslator(schema)
+    parts = []
+    for rule in rules:
+        try:
+            satisfy = translator.translate(rule).satisfy
+        except UntranslatableRuleError:
+            parts.append(None)
+            continue
+        parts.append(query_parts(satisfy))
+
+    kept = [True] * len(rules)
+    subsumed: dict[int, list[str]] = {}
+    for i in range(len(rules)):
+        if not kept[i] or parts[i] is None:
+            continue
+        for j in range(len(rules)):
+            if j == i or not kept[j] or parts[j] is None:
+                continue
+            if not implies(parts[i], parts[j]):
+                continue
+            if j < i and implies(parts[j], parts[i]):
+                continue             # equivalent: the earlier index wins
+            kept[j] = False
+            chain = subsumed.setdefault(i, [])
+            chain.append(rules[j].text or rules[j].describe())
+            chain.extend(subsumed.pop(j, []))
+
+    output: list[ConsistencyRule] = []
+    for index, rule in enumerate(rules):
+        if not kept[index]:
+            continue
+        if index in subsumed:
+            rule = dataclasses.replace(
+                rule,
+                implied_by=rule.implied_by + tuple(subsumed[index]),
+            )
+        output.append(rule)
+    return output
 
 
 def merge_property_exists(

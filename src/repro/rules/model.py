@@ -93,6 +93,9 @@ class ConsistencyRule:
     scope_label: Optional[str] = None       # PRIMARY_KEY scoping node label
     time_property: Optional[str] = None    # TEMPORAL rules
     provenance: str = ""                   # e.g. "llama3/window-3"
+    #: texts of strictly-weaker rules this rule subsumed (implication
+    #: pruning provenance); excluded from the signature like provenance
+    implied_by: tuple[str, ...] = ()
 
     def signature(self) -> tuple:
         """Identity of the rule *content*, ignoring text and provenance.
@@ -137,6 +140,7 @@ class ConsistencyRule:
             "scope_label": self.scope_label,
             "time_property": self.time_property,
             "provenance": self.provenance,
+            "implied_by": list(self.implied_by),
         }
 
     @classmethod
@@ -156,6 +160,7 @@ class ConsistencyRule:
             scope_label=payload.get("scope_label"),
             time_property=payload.get("time_property"),
             provenance=payload.get("provenance", ""),
+            implied_by=tuple(payload.get("implied_by", ())),
         )
 
 

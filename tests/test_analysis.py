@@ -124,6 +124,36 @@ class TestTypecheck:
         )
         assert report.has("string-predicate-on-non-string")
 
+    def test_comparison_with_null_is_typed_finding(self, social_schema):
+        # '=' against NULL evaluates to null, never true — the checker
+        # reports it instead of silently treating it as class-disjoint
+        report = analyze_query(
+            "MATCH (u:User) WHERE u.id = null RETURN u.id AS i",
+            social_schema,
+        )
+        finding = next(
+            f for f in report.findings if f.code == "comparison-with-null"
+        )
+        assert finding.severity is Verdict.WARN
+        assert "IS NULL" in finding.message
+
+    def test_int_float_widening_is_clean(self, social_schema):
+        # ints and floats share the 'number' class; comparing an int
+        # property against a float literal is not a confusion
+        report = analyze_query(
+            "MATCH (u:User) WHERE u.id > 1.5 RETURN u.id AS i",
+            social_schema,
+        )
+        assert not report.by_pass("types")
+
+    def test_string_vs_numeric_inequality(self, social_schema):
+        report = analyze_query(
+            "MATCH (u:User) WHERE u.name < 5 RETURN u.id AS i",
+            social_schema,
+        )
+        assert report.has("type-confused-comparison")
+        assert report.verdict is Verdict.WARN
+
     def test_matching_types_are_clean(self, social_schema):
         report = analyze_query(
             "MATCH (u:User) WHERE u.name = 'alice' AND u.id > 0 "

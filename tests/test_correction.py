@@ -46,6 +46,35 @@ class TestClassifier:
         )
         assert verdict.primary_category is ErrorCategory.DIRECTION
 
+    def test_direction_before_syntax_is_direction_primary(
+        self, social_schema
+    ):
+        # regression: a wrong-direction pattern that *precedes* the
+        # syntax problem in the query text is the primary category —
+        # syntax-primary only wins when the parse error comes first
+        verdict = QueryClassifier(social_schema).classify(
+            "MATCH (t:Tweet)-[:POSTS]->(u:User) "
+            "WHERE u.name = '^ali' RETURN count(*) AS c"
+        )
+        assert verdict.primary_category is ErrorCategory.DIRECTION
+
+    def test_syntax_before_direction_stays_syntax_primary(
+        self, social_schema
+    ):
+        verdict = QueryClassifier(social_schema).classify(
+            "MATCH (u:User) WHERE u.name = '^ali' "
+            "MATCH (t:Tweet)-[:POSTS]->(v:User) RETURN count(*) AS c"
+        )
+        assert verdict.primary_category is ErrorCategory.SYNTAX
+
+    def test_parse_failure_stays_syntax_primary(self, social_schema):
+        # a genuine parse failure produces no direction findings (there
+        # is no AST), so the tie-break cannot demote it
+        verdict = QueryClassifier(social_schema).classify(
+            "MATCH (t:Tweet)-[:POSTS]->(u:User RETURN t"
+        )
+        assert verdict.primary_category is ErrorCategory.SYNTAX
+
     def test_hallucination_category(self, social_schema):
         verdict = QueryClassifier(social_schema).classify(
             "MATCH (t:Tweet) WHERE t.penaltyScore > 0 RETURN t"

@@ -1,0 +1,180 @@
+"""Unit + property tests for analyzer-guided fix synthesis
+(repro.analysis.fixes): every accepted rewrite must be re-verified by
+the analyzer, and a successful repair must leave a sound query."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import FixSynthesizer, StaticAnalyzer, Verdict
+from repro.analysis.fixes import DIRECTION_CODE, FIX_KINDS
+from repro.graph import PropertyGraph, infer_schema
+
+
+@pytest.fixture()
+def synthesizer(social_schema) -> FixSynthesizer:
+    return FixSynthesizer(schema=social_schema)
+
+
+class TestDropConjunct:
+    def test_contradiction_dropped(self, synthesizer):
+        fix = synthesizer.repair(
+            "MATCH (u:User) WHERE u.id > 100 AND u.id < 0 "
+            "RETURN count(*) AS c"
+        )
+        assert fix is not None
+        assert fix.verdict_before is Verdict.UNSAT
+        assert not fix.verdict_after.dooms_execution
+        after = synthesizer.analyzer.analyze(fix.fixed)
+        assert not after.verdict.dooms_execution
+
+    def test_null_comparison_dropped(self, synthesizer):
+        fix = synthesizer.repair(
+            "MATCH (u:User) WHERE u.id < null RETURN count(*) AS c",
+        )
+        assert fix is not None
+        assert "unsatisfiable-predicate" in fix.addresses
+        assert "null" not in fix.fixed.lower()
+
+    def test_healthy_query_needs_no_repair(self, synthesizer):
+        assert synthesizer.repair(
+            "MATCH (u:User) WHERE u.id > 0 RETURN count(*) AS c"
+        ) is None
+
+    def test_parse_error_is_unfixable(self, synthesizer):
+        assert synthesizer.repair("MATCH (u:User RETURN u") is None
+
+
+class TestFlipDirection:
+    def test_backward_edge_flipped(self, synthesizer):
+        candidates = synthesizer.synthesize(
+            "MATCH (t:Tweet)-[:POSTS]->(u:User) RETURN count(*) AS c"
+        )
+        kinds = [c.kind for c in candidates]
+        assert "flip-direction" in kinds
+        flipped = candidates[kinds.index("flip-direction")]
+        assert DIRECTION_CODE in flipped.addresses
+        assert synthesizer._bad_triple_count(flipped.fixed) == 0
+
+    def test_correct_direction_untouched(self, synthesizer):
+        candidates = synthesizer.synthesize(
+            "MATCH (u:User)-[:POSTS]->(t:Tweet) RETURN count(*) AS c"
+        )
+        assert all(c.kind != "flip-direction" for c in candidates)
+
+
+class TestRetypeComparison:
+    def test_stringified_number_recoerced(self, synthesizer):
+        fix = synthesizer.repair(
+            "MATCH (u:User) WHERE u.id = '1' RETURN count(*) AS c",
+            target_codes=frozenset({"type-confused-comparison"}),
+        )
+        assert fix is not None
+        assert fix.kind == "retype-comparison"
+        assert "'1'" not in fix.fixed
+        after = synthesizer.analyzer.analyze(fix.fixed)
+        assert not after.has("type-confused-comparison")
+
+    def test_warn_defect_ignored_without_target_codes(self, synthesizer):
+        # WARN-level confusion does not doom execution; repair() only
+        # chases it when the caller opts in via target_codes
+        assert synthesizer.repair(
+            "MATCH (u:User) WHERE u.id = '1' RETURN count(*) AS c"
+        ) is None
+
+
+class TestReorderBinding:
+    def test_conjunct_moved_after_binding(self, synthesizer):
+        fix = synthesizer.repair(
+            "MATCH (u:User) WHERE t.id = 10 "
+            "MATCH (t:Tweet) RETURN count(*) AS c",
+            target_codes=frozenset({"use-before-bind"}),
+        )
+        assert fix is not None
+        assert fix.kind == "reorder-binding"
+        after = synthesizer.analyzer.analyze(fix.fixed)
+        assert not after.has("use-before-bind")
+
+
+class TestAccounting:
+    def test_counters_accumulate_and_drain(self, synthesizer):
+        synthesizer.repair(
+            "MATCH (u:User) WHERE u.id > 100 AND u.id < 0 "
+            "RETURN count(*) AS c"
+        )
+        drained = synthesizer.drain_counters()
+        assert any(event == "accepted" for event, _kind in drained)
+        assert all(kind in FIX_KINDS or kind == "composite"
+                   for _event, kind in drained)
+        assert synthesizer.drain_counters() == {}
+
+    def test_fix_candidate_roundtrips_to_dict(self, synthesizer):
+        fix = synthesizer.repair(
+            "MATCH (u:User) WHERE u.id > 100 AND u.id < 0 "
+            "RETURN count(*) AS c"
+        )
+        payload = fix.to_dict()
+        assert payload["verdict_before"] == "unsat"
+        assert payload["fixed"] == fix.fixed
+        assert payload["addresses"] == list(fix.addresses)
+
+
+# ----------------------------------------------------------------------
+# property-based soundness: accepted fixes re-analyze clean
+# ----------------------------------------------------------------------
+def _bounded_graph() -> PropertyGraph:
+    graph = PropertyGraph("hypo")
+    for index in range(6):
+        graph.add_node(f"n{index}", "Item", {
+            "v": index, "name": f"item{index}",
+        })
+    graph.add_edge("e0", "NEXT", "n0", "n1")
+    return graph
+
+
+_SCHEMA = infer_schema(_bounded_graph())
+
+_ops = st.sampled_from(["<", "<=", ">", ">=", "=", "<>"])
+_values = st.one_of(
+    st.integers(min_value=-5, max_value=10),
+    st.sampled_from(["'0'", "'item1'", "null"]),
+)
+
+
+@st.composite
+def _conjuncts(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    parts = []
+    for _ in range(count):
+        op = draw(_ops)
+        value = draw(_values)
+        parts.append(f"n.v {op} {value}")
+    return " AND ".join(parts)
+
+
+@given(_conjuncts())
+@settings(max_examples=60, deadline=None)
+def test_accepted_fixes_never_worsen_the_query(where):
+    """Soundness: every candidate parses and is no more severe than the
+    original; every successful repair() leaves a satisfiable query."""
+    synthesizer = FixSynthesizer(schema=_SCHEMA)
+    query = f"MATCH (n:Item) WHERE {where} RETURN count(*) AS c"
+    report = synthesizer.analyzer.analyze(query)
+    for candidate in synthesizer.synthesize(query, report):
+        after = synthesizer.analyzer.analyze(candidate.fixed)
+        assert not after.parse_failed
+        assert after.verdict.severity <= report.verdict.severity
+
+    fix = synthesizer.repair(
+        query,
+        target_codes=frozenset({
+            "type-confused-comparison", "comparison-with-null",
+        }),
+    )
+    if fix is not None:
+        final = synthesizer.analyzer.analyze(fix.fixed)
+        assert not final.verdict.dooms_execution
+        assert not final.has("type-confused-comparison")
+        assert not final.has("comparison-with-null")

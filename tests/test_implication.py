@@ -1,0 +1,171 @@
+"""Unit + property tests for cross-rule implication analysis
+(repro.analysis.implication) and the dedup-stage pruning built on it.
+
+The soundness contract: ``implies(A, B)`` returning True must mean the
+rows matched by A are a subset of the rows matched by B **on every
+graph**; conservative False answers are always allowed.  The property
+test checks the claim against brute-force row containment on randomized
+graphs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import implies, query_parts
+from repro.cypher import execute
+from repro.graph import PropertyGraph, infer_schema
+from repro.rules.dedup import prune_implied
+from repro.rules.model import ConsistencyRule, RuleKind
+
+
+def _parts(text: str):
+    parts = query_parts(text)
+    assert parts is not None, text
+    return parts
+
+
+S = "RETURN count(*) AS satisfy"
+
+
+class TestImplies:
+    def test_reflexive(self):
+        a = _parts(f"MATCH (n:User) WHERE n.id > 0 {S}")
+        assert implies(a, a)
+
+    def test_extra_conjunct_implies_subset(self):
+        strong = _parts(
+            f"MATCH (n:User) WHERE n.id > 0 AND n.name = 'alice' {S}"
+        )
+        weak = _parts(f"MATCH (n:User) WHERE n.id > 0 {S}")
+        assert implies(strong, weak)
+        assert not implies(weak, strong)
+
+    def test_domain_entailment_on_bounds(self):
+        tighter = _parts(f"MATCH (n:User) WHERE n.id > 5 {S}")
+        looser = _parts(f"MATCH (n:User) WHERE n.id > 3 {S}")
+        assert implies(tighter, looser)
+        assert not implies(looser, tighter)
+
+    def test_pinned_equality_entails_range(self):
+        pinned = _parts(f"MATCH (n:User) WHERE n.id = 4 {S}")
+        ranged = _parts(f"MATCH (n:User) WHERE n.id >= 4 {S}")
+        assert implies(pinned, ranged)
+        assert not implies(ranged, pinned)
+
+    def test_alpha_renaming_is_erased(self):
+        a = _parts(f"MATCH (x:User) WHERE x.id > 0 {S}")
+        b = _parts(f"MATCH (y:User) WHERE y.id > 0 {S}")
+        assert implies(a, b) and implies(b, a)
+
+    def test_different_atoms_never_imply(self):
+        a = _parts(f"MATCH (n:User) WHERE n.id > 0 {S}")
+        b = _parts(f"MATCH (n:Tweet) WHERE n.id > 0 {S}")
+        assert not implies(a, b)
+
+    def test_unsat_strong_side_refused(self):
+        # an UNSAT query matches nothing, which would vacuously "imply"
+        # everything and let one broken rule erase the whole set
+        broken = _parts(
+            f"MATCH (n:User) WHERE n.id > 10 AND n.id < 0 {S}"
+        )
+        weak = _parts(f"MATCH (n:User) WHERE n.id > 10 {S}")
+        assert broken.unsat
+        assert not implies(broken, weak)
+
+
+class TestPruneImplied:
+    def _rules(self):
+        domain = ConsistencyRule(
+            kind=RuleKind.VALUE_DOMAIN, text="name is alice or bob",
+            label="User", properties=("name",),
+            allowed_values=("alice", "bob"),
+        )
+        exists = ConsistencyRule(
+            kind=RuleKind.PROPERTY_EXISTS, text="name exists",
+            label="User", properties=("name",),
+        )
+        return domain, exists
+
+    def test_weaker_rule_pruned_with_provenance(self, social_schema):
+        domain, exists = self._rules()
+        pruned = prune_implied([domain, exists], social_schema)
+        assert [rule.kind for rule in pruned] == [RuleKind.VALUE_DOMAIN]
+        assert pruned[0].implied_by == (exists.text,)
+
+    def test_order_does_not_save_the_weaker_rule(self, social_schema):
+        domain, exists = self._rules()
+        pruned = prune_implied([exists, domain], social_schema)
+        assert [rule.kind for rule in pruned] == [RuleKind.VALUE_DOMAIN]
+
+    def test_unrelated_rules_survive(self, social_schema):
+        _domain, exists = self._rules()
+        other = ConsistencyRule(
+            kind=RuleKind.PROPERTY_EXISTS, text="tweets have text",
+            label="Tweet", properties=("text",),
+        )
+        pruned = prune_implied([exists, other], social_schema)
+        assert len(pruned) == 2
+        assert all(rule.implied_by == () for rule in pruned)
+
+    def test_equivalent_rules_keep_the_earlier(self, social_schema):
+        _domain, exists = self._rules()
+        twin = ConsistencyRule(
+            kind=RuleKind.PROPERTY_EXISTS, text="name exists (again)",
+            label="User", properties=("name",),
+        )
+        pruned = prune_implied([exists, twin], social_schema)
+        assert len(pruned) == 1
+        assert pruned[0].text == exists.text
+
+
+# ----------------------------------------------------------------------
+# property-based soundness: implies() vs brute-force row containment
+# ----------------------------------------------------------------------
+_ops = st.sampled_from(["<", "<=", ">", ">=", "=", "<>"])
+_bounds = st.integers(min_value=-2, max_value=8)
+
+
+@st.composite
+def _cases(draw):
+    values = draw(st.lists(
+        st.integers(min_value=-3, max_value=9), min_size=1, max_size=8,
+    ))
+    weak = [
+        f"n.v {draw(_ops)} {draw(_bounds)}"
+        for _ in range(draw(st.integers(min_value=1, max_value=2)))
+    ]
+    # the strong side sometimes extends the weak side (likely True
+    # cases) and sometimes stands alone (exercises the False paths)
+    extras = [
+        f"n.v {draw(_ops)} {draw(_bounds)}"
+        for _ in range(draw(st.integers(min_value=0, max_value=2)))
+    ]
+    strong = weak + extras if draw(st.booleans()) else (extras or weak)
+    return values, " AND ".join(strong), " AND ".join(weak)
+
+
+@given(_cases())
+@settings(max_examples=100, deadline=None)
+def test_implies_matches_brute_force_containment(case):
+    values, strong_where, weak_where = case
+    graph = PropertyGraph("hypo")
+    for index, value in enumerate(values):
+        graph.add_node(f"n{index}", "Item", {"id": index, "v": value})
+
+    strong_query = f"MATCH (n:Item) WHERE {strong_where} {S}"
+    weak_query = f"MATCH (n:Item) WHERE {weak_where} {S}"
+    strong_parts = query_parts(strong_query)
+    weak_parts = query_parts(weak_query)
+    if strong_parts is None or weak_parts is None:
+        return
+    if not implies(strong_parts, weak_parts):
+        return                        # conservative False is always sound
+
+    def row_ids(where: str) -> set[int]:
+        result = execute(
+            graph, f"MATCH (n:Item) WHERE {where} RETURN n.id AS id"
+        )
+        return {row["id"] for row in result.rows}
+
+    assert row_ids(strong_where) <= row_ids(weak_where)

@@ -1,0 +1,197 @@
+"""Tests for the bounded refine loop (repro.refine) and its wiring:
+mechanical-fix recovery, feedback-driven regeneration, exhaustion, obs
+accounting, and the end-to-end recovered-yield report."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.correction.corrector import QueryCorrector
+from repro.experiments.refine_report import stressed_profile, yield_rows
+from repro.graph import infer_schema
+from repro.llm.base import SimulatedClock
+from repro.llm.profiles import get_profile
+from repro.llm.simulated import SimulatedLLM
+from repro.prompts.templates import cypher_prompt
+from repro.refine import RefineLoop
+from repro.rules.nl import from_natural_language
+
+
+@pytest.fixture()
+def cyber_schema(cyber_dataset):
+    return infer_schema(cyber_dataset.graph)
+
+
+@pytest.fixture()
+def corrector(cyber_schema):
+    return QueryCorrector(cyber_schema)
+
+
+def make_llm(seed: int = 7) -> SimulatedLLM:
+    return SimulatedLLM(
+        profile=get_profile("mixtral"), seed=seed, clock=SimulatedClock(),
+    )
+
+
+def correct_outcome(corrector, llm, rule, summary):
+    completion = llm.complete(cypher_prompt(rule.text, summary))
+    return corrector.correct(rule, completion.text)
+
+
+class TestRefineLoop:
+    def test_healthy_outcome_passes_through(
+        self, corrector, cyber_schema, cyber_dataset
+    ):
+        summary = cyber_schema.describe()
+        llm = make_llm()
+        rule = from_natural_language(
+            "Each Computer node should have a operatingsystem property."
+        )
+        outcome = correct_outcome(corrector, llm, rule, summary)
+        loop = RefineLoop(
+            corrector, summary, llm, graph=cyber_dataset.graph, budget=2
+        )
+        result = loop.refine(rule, outcome)
+        assert result.recovered
+        assert result.attempts == []
+        assert result.llm_calls == 0
+
+    def test_unsat_query_recovered_by_mechanical_fix(
+        self, corrector, cyber_schema, cyber_dataset
+    ):
+        summary = cyber_schema.describe()
+        llm = make_llm()
+        rule = from_natural_language(
+            "Each Computer node should have a operatingsystem property."
+        )
+        outcome = correct_outcome(corrector, llm, rule, summary)
+        broken = dataclasses.replace(
+            outcome,
+            final_query=(
+                "MATCH (n:Computer) WHERE n.operatingsystem IS NOT NULL "
+                "AND n.objectid < null RETURN count(*) AS satisfy"
+            ),
+        )
+        loop = RefineLoop(
+            corrector, summary, llm, graph=cyber_dataset.graph, budget=2
+        )
+        result = loop.refine(rule, broken)
+        assert result.recovered
+        assert result.llm_calls == 0          # mechanical repair is free
+        assert result.attempts[-1].strategy == "fix"
+        assert result.fix is not None
+        assert "< null" not in result.outcome.final_query.lower()
+        assert result.rule is rule            # the rule text was fine
+
+    def test_hallucinated_rule_recovered_by_regeneration(
+        self, corrector, cyber_schema, cyber_dataset
+    ):
+        summary = cyber_schema.describe()
+        llm = make_llm()
+        rule = from_natural_language(
+            "Each Computer node should have a score property."
+        )
+        outcome = correct_outcome(corrector, llm, rule, summary)
+        loop = RefineLoop(
+            corrector, summary, llm, graph=cyber_dataset.graph, budget=2
+        )
+        result = loop.refine(rule, outcome)
+        assert result.recovered
+        assert result.llm_calls >= 1
+        assert result.attempts[-1].strategy == "regenerate"
+        assert "score" not in result.rule.text
+        assert result.metrics is not None
+        assert result.metrics.support > 0
+
+    def test_exhaustion_returns_the_original_pair(
+        self, corrector, cyber_schema, cyber_dataset
+    ):
+        summary = cyber_schema.describe()
+        llm = make_llm()
+        rule = from_natural_language(
+            "Each Computer node should have a score property."
+        )
+        outcome = correct_outcome(corrector, llm, rule, summary)
+        # budget 0 forbids regeneration, and no mechanical fix can
+        # conjure a property the graph does not have
+        loop = RefineLoop(
+            corrector, summary, llm, graph=cyber_dataset.graph, budget=0
+        )
+        result = loop.refine(rule, outcome)
+        assert not result.recovered
+        assert result.rule is rule
+        assert result.outcome is outcome
+        assert result.llm_calls == 0
+
+    def test_obs_counters_emitted(
+        self, corrector, cyber_schema, cyber_dataset
+    ):
+        summary = cyber_schema.describe()
+        llm = make_llm()
+        rule = from_natural_language(
+            "Each Computer node should have a operatingsystem property."
+        )
+        outcome = correct_outcome(corrector, llm, rule, summary)
+        broken = dataclasses.replace(
+            outcome,
+            final_query=(
+                "MATCH (n:Computer) WHERE n.objectid < null "
+                "RETURN count(*) AS satisfy"
+            ),
+        )
+        collector = obs.install()
+        try:
+            loop = RefineLoop(
+                corrector, summary, llm,
+                graph=cyber_dataset.graph, budget=2,
+            )
+            result = loop.refine(rule, broken)
+            assert result.recovered
+            registry = collector.metrics
+            assert registry.counter("refine.attempts").total() == 1
+            assert registry.counter("refine.fix_applied").total() == 1
+            assert registry.counter("refine.recovered").value(
+                strategy="fix"
+            ) == 1
+            assert registry.counter("analysis.fix.accepted").total() >= 1
+        finally:
+            obs.uninstall()
+
+
+class TestYieldReport:
+    def test_stressed_profile_only_changes_fault_rates(self):
+        base = get_profile("mixtral")
+        stressed = stressed_profile("mixtral")
+        assert stressed.unsat_fault_rate > 0
+        assert stressed.type_fault_rate > 0
+        assert stressed.name == base.name
+        assert stressed.swa_rule_cap == base.swa_rule_cap
+
+    def test_budget_two_recovers_at_least_thirty_percent(self):
+        rows, runs = yield_rows(
+            "cybersecurity", "mixtral", "zero_shot", budgets=(0, 2),
+        )
+        control, best = rows
+        assert control["budget"] == 0
+        assert control["zero_scored"] >= 1
+        assert control["recovered"] == 0
+        # the acceptance floor: >=30% of zero-scored rules recovered
+        # within a 2-retry budget
+        assert best["zero_scored"] == control["zero_scored"]
+        assert best["yield"] >= 0.30
+        assert best["recovered"] == (
+            best["fix_repaired"] + best["regenerated"]
+        )
+
+        # refinement never perturbs rules that were already healthy
+        control_run, refined_run = runs
+        healthy = [
+            (a.rule.signature(), b.rule.signature())
+            for a, b in zip(control_run.results, refined_run.results)
+            if b.refinement is None
+        ]
+        assert healthy
+        assert all(sig_a == sig_b for sig_a, sig_b in healthy)

@@ -11,7 +11,7 @@ layer or below::
       < analysis
       < rules
       < correction, metrics, encoding, llm, prompts, rag, datasets, obs
-      < mining
+      < mining, refine
       < experiments, gateway, service, stream
 
 An upward import (``repro.cypher`` importing ``repro.mining``) couples
@@ -22,8 +22,14 @@ Lint
 ----
 A small stdlib-``ast`` pass (the container has no ruff/pyflakes) flags
 the defect classes that bite most in review: unused imports, duplicate
-imports, and ``import *``.  When ruff *is* importable (CI installs it),
-it runs afterwards for the full rule set.
+imports, ``import *``, bare ``except:`` clauses, and non-injectable
+wall-clock reads (``time.time()`` / ``time.monotonic()`` /
+``datetime.now()`` call sites) outside ``repro.obs`` — the simulated
+timeline only stays deterministic when real time is either owned by the
+obs layer or injected as a clock parameter.  Process-lifecycle modules
+that legitimately watch the real clock are enumerated in
+``tools/wallclock_allowlist.txt``.  When ruff *is* importable (CI
+installs it), it runs afterwards for the full rule set.
 
 Usage::
 
@@ -57,6 +63,7 @@ LAYERS = {
     "datasets": 4,
     "obs": 4,
     "mining": 5,
+    "refine": 5,
     "experiments": 6,
     "gateway": 6,
     "service": 6,
@@ -65,6 +72,25 @@ LAYERS = {
 
 #: names a module may re-export without "using" them (init conventions)
 _INIT_NAMES = ("__init__.py",)
+
+#: files under src/ allowed to read the wall clock directly
+#: (process-lifecycle code where an injected clock buys nothing)
+WALLCLOCK_ALLOWLIST = REPO / "tools" / "wallclock_allowlist.txt"
+
+#: (qualifier, attribute) call pairs that read the real clock
+_WALLCLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+}
+
+#: simple names that read the clock when imported from time/datetime
+_WALLCLOCK_NAMES = frozenset(
+    attribute for _qualifier, attribute in _WALLCLOCK_CALLS
+)
 
 
 def subpackage_of(module: str) -> str | None:
@@ -223,6 +249,82 @@ def check_lint(path: Path, tree: ast.AST, source: str) -> list[str]:
     return problems
 
 
+def check_bare_except(path: Path, tree: ast.AST) -> list[str]:
+    """A bare ``except:`` swallows KeyboardInterrupt and SystemExit."""
+    relative = path.relative_to(REPO)
+    return [
+        f"{relative}:{node.lineno}: bare 'except:' — name the "
+        f"exception types (or use 'except Exception:')"
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ExceptHandler) and node.type is None
+    ]
+
+
+def _dotted_call_name(node: ast.AST) -> tuple[str, ...]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def load_wallclock_allowlist() -> set[str]:
+    entries: set[str] = set()
+    try:
+        text = WALLCLOCK_ALLOWLIST.read_text()
+    except OSError:
+        return entries
+    for line in text.splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def check_wallclock(
+    path: Path, tree: ast.AST, allowlist: set[str]
+) -> list[str]:
+    """Flag direct wall-clock *call sites* outside ``repro.obs``.
+
+    Only ``ast.Call`` nodes are flagged: passing ``time.monotonic`` as a
+    default for an injectable ``clock`` parameter is the sanctioned
+    pattern and stays legal.
+    """
+    relative = path.relative_to(REPO)
+    if path.relative_to(SRC).parts[:2] == ("repro", "obs"):
+        return []                    # the obs layer owns real time
+    if str(relative) in allowlist:
+        return []
+
+    # `from time import monotonic` makes the bare name a clock read
+    banned_names = {
+        bound
+        for _node, imported, bound in iter_imports(tree)
+        if imported in ("time", "datetime")
+        and bound in _WALLCLOCK_NAMES
+    }
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted_call_name(node.func)
+        if not dotted:
+            continue
+        if tuple(dotted[-2:]) in _WALLCLOCK_CALLS or (
+            len(dotted) == 1 and dotted[0] in banned_names
+        ):
+            problems.append(
+                f"{relative}:{node.lineno}: non-injectable wall-clock "
+                f"call '{'.'.join(dotted)}()' — accept a clock "
+                f"parameter, or add the file to "
+                f"tools/wallclock_allowlist.txt"
+            )
+    return problems
+
+
 def run_ruff(paths: list[str], quiet: bool) -> int:
     """Run ruff when available; 0 when clean or ruff is absent."""
     try:
@@ -251,6 +353,7 @@ def main(argv: list[str] | None = None) -> int:
 
     problems: list[str] = []
     checked = 0
+    allowlist = load_wallclock_allowlist()
     targets = sorted(SRC.rglob("*.py")) + sorted(
         (REPO / "tools").glob("*.py")
     )
@@ -264,7 +367,9 @@ def main(argv: list[str] | None = None) -> int:
         checked += 1
         if path.is_relative_to(SRC):
             problems.extend(check_layering(path, tree))
+            problems.extend(check_wallclock(path, tree, allowlist))
         problems.extend(check_lint(path, tree, source))
+        problems.extend(check_bare_except(path, tree))
 
     for problem in problems:
         print(problem)
