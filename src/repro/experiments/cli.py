@@ -155,6 +155,11 @@ def _serve_gateway(args: argparse.Namespace) -> int:
             "endpoints: POST /jobs  GET /jobs/<id>[/result]  "
             "POST /jobs/<id>/cancel  GET /stats /healthz /metrics"
         )
+        print(
+            "tracing: GET /jobs/<id>/trace serves the assembled "
+            "fleet-wide span tree; submit with a 'traceparent' field "
+            "to adopt your own trace context"
+        )
         if args.watch:
             print(
                 "watch mode: POST /graphs/<name>/mutations  GET /drift "

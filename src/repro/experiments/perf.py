@@ -24,6 +24,7 @@ from repro import obs
 from repro.mining.runner import ExperimentRunner
 
 __all__ = [
+    "GATEWAY_WORKLOAD",
     "IGNORED_METRICS",
     "REFINE_WORKLOAD",
     "STREAM_WORKLOAD",
@@ -66,12 +67,28 @@ REFINE_WORKLOAD = {
     "min_yield": 0.30,
 }
 
+#: the gateway phase: one cell served through a real 1-process worker
+#: fleet (single worker keeps the ``jobs_dispatched{worker=...}`` label
+#: split deterministic) with distributed tracing on — gates the
+#: ``gateway.*`` counters and the span counts of the assembled
+#: fleet-wide trace, so tracing overhead regressions surface here
+GATEWAY_WORKLOAD = {
+    "dataset": "cybersecurity",
+    "model": "llama3",
+    "method": "sliding_window",
+    "prompt_mode": "zero_shot",
+    "workers": 1,
+}
+
 #: metric names carrying wall-clock time: machine-dependent, never gated
 IGNORED_METRICS = (
     "cypher.eval_seconds",
     "service.job_seconds",
     "service.job_wait_seconds",
     "service.retry_backoff_seconds",
+    "gateway.job_seconds",
+    "gateway.queue_wait_seconds",
+    "gateway.http.request_seconds",
 )
 
 _FORMAT = 1
@@ -90,6 +107,7 @@ def _profile_shell(seed: int) -> dict:
             WORKLOAD,
             stream=dict(STREAM_WORKLOAD),
             refine=dict(REFINE_WORKLOAD),
+            gateway=dict(GATEWAY_WORKLOAD),
         ),
         "seed": seed,
         "ignore": list(IGNORED_METRICS),
@@ -180,6 +198,37 @@ def _run_refine_phase(seed: int) -> None:
         )
 
 
+def _run_gateway_phase(seed: int) -> None:
+    """Serve one cell through a real one-worker fleet, tracing on.
+
+    Exercises the whole serving path — admission, snapshotting, dispatch
+    to a worker *process*, distributed-trace assembly — against a fresh
+    temporary cache, so every run actually mines.  The deterministic
+    ``gateway.*`` counters land in the profile, and the worker's spans
+    (grafted into the assembled fleet trace published to the installed
+    collector) pin the span counts of the cross-process tree.
+    """
+    import tempfile
+
+    from repro.gateway import Gateway
+
+    spec = GATEWAY_WORKLOAD
+    with tempfile.TemporaryDirectory(prefix="repro-perf-gw-") as cache_dir:
+        gateway = Gateway(cache_dir=cache_dir, workers=spec["workers"])
+        try:
+            gateway.start()
+            job = gateway.submit({
+                "dataset": spec["dataset"],
+                "model": spec["model"],
+                "method": spec["method"],
+                "prompt_mode": spec["prompt_mode"],
+                "base_seed": seed,
+            }, client="perf-gate")
+            gateway.result(job.job_id, timeout=120.0)
+        finally:
+            gateway.stop()
+
+
 def collect_profile(seed: int = 0) -> dict:
     """Run the gate workload under a fresh collector and profile it."""
     from repro.cypher import clear_plan_caches
@@ -200,6 +249,7 @@ def collect_profile(seed: int = 0) -> dict:
             )
         _run_stream_phase(seed)
         _run_refine_phase(seed)
+        _run_gateway_phase(seed)
     finally:
         if previous is not None:
             obs.install(previous)

@@ -200,6 +200,17 @@ class GatewayClient:
         job = self.submit(dataset, model, method, prompt_mode, **knobs)
         return self.result(str(job["job_id"]), timeout=timeout)
 
+    def trace(self, job_id: str) -> dict[str, Any]:
+        """The assembled fleet trace from ``GET /jobs/<id>/trace``.
+
+        Returns the gateway's stitched span tree for the job — a single
+        connected tree spanning the gateway and every worker process
+        that touched the job.  Raises :class:`GatewayClientError` (404)
+        when the gateway runs without tracing.
+        """
+        _, parsed = self._request("GET", f"/jobs/{job_id}/trace")
+        return parsed
+
     def cancel(self, job_id: str) -> bool:
         _, parsed = self._request("POST", f"/jobs/{job_id}/cancel")
         return bool(parsed.get("cancelled"))

@@ -89,6 +89,13 @@ class GatewayJob:
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: set once at first enqueue and preserved across crash-requeues so
+    #: queue-wait accounting covers the *whole* time a job sat waiting
+    first_enqueued_at: float = 0.0
+    trace_id: str = ""
+    #: the gateway's TraceAssembler for this job (None when the gateway
+    #: runs without an installed collector)
+    trace: object = field(default=None, repr=False)
     done: threading.Event = field(
         default_factory=threading.Event, repr=False
     )
@@ -107,6 +114,7 @@ class GatewayJob:
             "rules": self.rules,
             "error": self.error,
             "client": self.client,
+            "trace_id": self.trace_id,
         }
 
 
@@ -127,6 +135,12 @@ class _WorkerHandle:
         #: pipe) and the reader thread (EOF) is recovered exactly once
         self.generation = 0
         self.exit_handled_gen = -1
+        #: True while crash recovery is replacing the process.  The
+        #: dispatch loop must not select the handle in that window: the
+        #: dying process can linger unreapable (``poll()`` still None)
+        #: after its pipes EOF, so a job sent "successfully" then would
+        #: land in a pipe nobody will ever read.
+        self.respawning = False
 
     def spawn(self) -> None:
         self.ready = False
@@ -149,10 +163,16 @@ class _WorkerHandle:
     def pid(self) -> Optional[int]:
         return self.proc.pid if self.proc is not None else None
 
-    def send(self, message: dict) -> None:
-        assert self.proc is not None and self.proc.stdin is not None
-        self.proc.stdin.write(protocol.encode_line(message))
-        self.proc.stdin.flush()
+    def send(
+        self, message: dict, proc: subprocess.Popen | None = None
+    ) -> None:
+        # callers that selected a specific process under the dispatcher
+        # lock pass it explicitly, so a concurrent respawn swapping
+        # ``self.proc`` cannot silently redirect the write
+        proc = proc if proc is not None else self.proc
+        assert proc is not None and proc.stdin is not None
+        proc.stdin.write(protocol.encode_line(message))
+        proc.stdin.flush()
 
     def snapshot(self) -> dict[str, object]:
         return {
@@ -309,9 +329,13 @@ class Dispatcher:
                 raise DispatchQueueFull(
                     f"dispatch backlog at capacity ({self.queue_depth})"
                 )
+            if not job.first_enqueued_at:
+                job.first_enqueued_at = time.monotonic()
             self._backlog.append(job)
             obs.set_gauge("gateway.queue.depth", len(self._backlog))
             self._cv.notify_all()
+        if job.trace is not None:
+            job.trace.start_phase("gateway.queue")
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a still-queued job; dispatched jobs cannot be recalled."""
@@ -324,6 +348,9 @@ class Dispatcher:
                     obs.set_gauge("gateway.queue.depth", len(self._backlog))
                     job.done.set()
                     obs.inc("gateway.jobs_cancelled")
+                    if job.trace is not None:
+                        job.trace.end_phase("gateway.queue")
+                        job.trace.finish(state=job.state.value)
                     return True
         return False
 
@@ -332,7 +359,11 @@ class Dispatcher:
     # ------------------------------------------------------------------
     def _idle_worker(self) -> Optional[_WorkerHandle]:
         for handle in self._workers:
-            if handle.busy is None and handle.alive:
+            if (
+                handle.busy is None
+                and not handle.respawning
+                and handle.alive
+            ):
                 return handle
         return None
 
@@ -361,6 +392,8 @@ class Dispatcher:
                 handle = self._idle_worker()
                 if dead_jobs or handle is None or not self._backlog:
                     job = None
+                    proc = None
+                    generation = -1
                 else:
                     job = self._backlog.popleft()
                     obs.set_gauge("gateway.queue.depth", len(self._backlog))
@@ -369,15 +402,37 @@ class Dispatcher:
                     job.state = GatewayJobState.DISPATCHED
                     job.started_at = time.monotonic()
                     job.dispatch_attempts += 1
+                    # pin the process + generation selected under the
+                    # lock: if the worker dies and is respawned before
+                    # the send below, writing to ``handle.proc`` would
+                    # hit the *new* process while the recovery path has
+                    # already requeued the job
+                    proc = handle.proc
+                    generation = handle.generation
             for dead in dead_jobs:
                 self._fail_inflight(dead)
             if job is None:
                 continue
-            generation = handle.generation
+            obs.observe(
+                "gateway.queue_wait_seconds",
+                time.monotonic() - job.first_enqueued_at,
+            )
+            if job.trace is not None:
+                job.trace.end_phase("gateway.queue")
+                job.trace.start_phase(
+                    "gateway.attempt",
+                    worker=handle.worker_id,
+                    pid=handle.pid,
+                    attempt=job.dispatch_attempts,
+                )
             try:
                 handle.send(protocol.job_message(
-                    job.job_id, job.spec, job.snapshot_path
-                ))
+                    job.job_id, job.spec, job.snapshot_path,
+                    traceparent=(
+                        job.trace.traceparent
+                        if job.trace is not None else None
+                    ),
+                ), proc=proc)
                 with self._cv:
                     self.jobs_dispatched += 1
                 obs.inc("gateway.jobs_dispatched", worker=handle.worker_id)
@@ -423,6 +478,19 @@ class Dispatcher:
             obs.observe(
                 "gateway.job_seconds", job.finished_at - job.started_at
             )
+        if job.trace is not None:
+            attempt = job.trace.end_phase(
+                "gateway.attempt",
+                ok=ok, cache_hit=job.cache_hit, rules=job.rules,
+            )
+            spans = event.get("spans")
+            if spans:
+                job.trace.graft(
+                    spans, under=attempt, worker=job.worker_id or "",
+                )
+            job.trace.finish(
+                state=job.state.value, source=job.source, error=job.error,
+            )
         job.done.set()
 
     def _reader_loop(
@@ -463,6 +531,9 @@ class Dispatcher:
         with self._cv:
             self.jobs_failed += 1
         obs.inc("gateway.jobs_completed", ok=False, cache_hit=False)
+        if job.trace is not None:
+            job.trace.end_phase("gateway.attempt", error=job.error)
+            job.trace.finish(state=job.state.value, error=job.error)
         job.done.set()
 
     def _on_worker_exit(self, handle: _WorkerHandle, generation: int) -> None:
@@ -475,6 +546,11 @@ class Dispatcher:
             if handle.exit_handled_gen >= generation:
                 return
             handle.exit_handled_gen = generation
+            # keep the handle out of _idle_worker until the replacement
+            # process (if any) is fully spawned — the dying one can stay
+            # unreapable for a moment after its pipes EOF, so ``alive``
+            # alone cannot be trusted here
+            handle.respawning = True
             job = handle.busy
             handle.busy = None
             stopping = self._draining or self._stopped
@@ -491,6 +567,20 @@ class Dispatcher:
                 # twice-crashed job is poison — fail it loudly
                 self._fail_inflight(job)
             else:
+                if job.trace is not None:
+                    # the aborted attempt stays in the tree, marked as an
+                    # error; the retry lands beside it as a sibling
+                    job.trace.end_phase(
+                        "gateway.attempt", error="worker_crash",
+                    )
+                    job.trace.event(
+                        "gateway.requeue",
+                        worker=handle.worker_id,
+                        attempt=job.dispatch_attempts,
+                        waited_seconds=(
+                            time.monotonic() - job.first_enqueued_at
+                        ),
+                    )
                 with self._cv:
                     job.state = GatewayJobState.QUEUED
                     job.worker_id = None
@@ -500,13 +590,17 @@ class Dispatcher:
                     )
                     self._cv.notify_all()
                 obs.inc("gateway.jobs_requeued")
-        if not stopping and handle.crashes <= self.respawn_limit:
-            try:
+                if job.trace is not None:
+                    job.trace.start_phase("gateway.queue", requeued=True)
+        try:
+            if not stopping and handle.crashes <= self.respawn_limit:
                 handle.spawn()
-            except OSError:
-                return
-            self._spawn_reader(handle)
+                self._spawn_reader(handle)
+        except OSError:
+            pass
+        finally:
             with self._cv:
+                handle.respawning = False
                 self._cv.notify_all()
 
     # ------------------------------------------------------------------

@@ -45,7 +45,11 @@ __all__ = [
     "spec_to_payload",
 ]
 
-PROTOCOL_VERSION = 1
+#: v2 added distributed-trace context: ``job`` ops carry a ``trace``
+#: (traceparent) field and ``done`` events ship the worker's completed
+#: span tree (``trace`` + ``spans``).  The version check stays strict —
+#: a v1 worker paired with a v2 gateway fails loudly at decode time.
+PROTOCOL_VERSION = 2
 
 #: integer knobs a submit payload may override, with bounds that keep a
 #: hostile payload from wedging a worker (0-token windows, giant top-k)
@@ -118,8 +122,11 @@ def parse_submit(
                 f"field {field!r} must be in [{low}, {high}], got {value}"
             )
         knobs[field] = value
+    traceparent = payload.get("traceparent")
+    if traceparent is not None and not isinstance(traceparent, str):
+        raise ProtocolError("field 'traceparent' must be a string")
     known = {"dataset", "model", "method", "prompt_mode", "client",
-             "priority", *_INT_OVERRIDES}
+             "priority", "traceparent", *_INT_OVERRIDES}
     unknown = set(payload) - known
     if unknown:
         raise ProtocolError(f"unknown fields: {sorted(unknown)}")
@@ -166,14 +173,20 @@ def decode_line(line: str) -> dict[str, Any]:
 
 
 def job_message(
-    job_id: str, spec: JobSpec, snapshot_path: str
+    job_id: str,
+    spec: JobSpec,
+    snapshot_path: str,
+    traceparent: str | None = None,
 ) -> dict[str, Any]:
-    return {
+    message = {
         "op": "job",
         "job_id": job_id,
         "snapshot": snapshot_path,
         "spec": spec_to_payload(spec),
     }
+    if traceparent:
+        message["trace"] = traceparent
+    return message
 
 
 def shutdown_message() -> dict[str, Any]:
@@ -195,8 +208,10 @@ def done_event(
     run_seconds: float = 0.0,
     computed_id: str = "",
     error: str | None = None,
+    trace: str | None = None,
+    spans: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
-    return {
+    event = {
         "event": "done",
         "job_id": job_id,
         "ok": ok,
@@ -208,3 +223,8 @@ def done_event(
         "computed_id": computed_id,
         "error": error,
     }
+    if trace:
+        event["trace"] = trace
+    if spans is not None:
+        event["spans"] = spans
+    return event

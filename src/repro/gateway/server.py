@@ -33,6 +33,7 @@ same as the telemetry server.
 
 from __future__ import annotations
 
+import json
 import math
 import sys
 import threading
@@ -323,7 +324,9 @@ class Gateway:
         workload.
         """
         if self.draining:
-            raise GatewayRejected(self.admission.shed("draining"))
+            raise GatewayRejected(self.admission.shed(
+                "draining", retry_after=self.drain_timeout,
+            ))
         decision = self.admission.admit(
             client,
             queue_depth=self.dispatcher.backlog,
@@ -331,8 +334,13 @@ class Gateway:
         )
         if not decision.admitted:
             raise GatewayRejected(decision)
+        context = obs.parse_traceparent(
+            payload.get("traceparent") if isinstance(payload, dict) else None
+        )
+        trace_id = context[0] if context else ""
         watcher = self._watcher(name)
-        ack = watcher.submit(payload)  # raises MutationError on bad input
+        # raises MutationError on bad input
+        ack = watcher.submit(payload, trace_id=trace_id)
         key = name.lower()
         with self._dataset_lock:
             dataset = self._dataset_objects[key]
@@ -345,6 +353,8 @@ class Gateway:
         obs.inc("gateway.mutations_accepted")
         ack["dataset"] = key
         ack["snapshot"] = path.name
+        if trace_id:
+            ack["trace_id"] = trace_id
         return ack
 
     def _prune_snapshots(self, key: str, keep: int) -> None:
@@ -389,7 +399,9 @@ class Gateway:
         """
         spec = protocol.parse_submit(payload, self.defaults)
         if self.draining:
-            raise GatewayRejected(self.admission.shed("draining"))
+            raise GatewayRejected(self.admission.shed(
+                "draining", retry_after=self.drain_timeout,
+            ))
         decision = self.admission.admit(
             client,
             queue_depth=self.dispatcher.backlog,
@@ -403,13 +415,33 @@ class Gateway:
             existing = self._jobs.get(job_id)
             if existing is not None:
                 return existing
+        # adopt the client's trace context when a valid traceparent came
+        # in; otherwise mint a fresh trace.  No installed collector means
+        # no tracing at all — the assembler would have nowhere to publish
+        context = obs.parse_traceparent(payload.get("traceparent"))
+        trace = None
+        if obs.get_collector() is not None:
+            trace = obs.TraceAssembler(
+                trace_id=context[0] if context else None,
+                clock=self._clock,
+            )
         job = GatewayJob(
             job_id=job_id,
             spec=spec,
             snapshot_path=snapshot_path,
             client=client,
             submitted_at=self._clock(),
+            trace_id=trace.trace_id if trace is not None else "",
+            trace=trace,
         )
+        if trace is not None:
+            trace.begin(
+                "gateway.job",
+                job_id=job_id[:12],
+                cell="/".join(spec.cell()),
+                client=client,
+                remote_parent=context[1] if context else None,
+            )
         if self.serve_from_cache:
             run = self.cache.get(job_id)
             if run is not None:
@@ -422,6 +454,9 @@ class Gateway:
                 job.rules = run.rule_count
                 job.computed_id = job_id
                 job.finished_at = self._clock()
+                if trace is not None:
+                    trace.event("gateway.cache", source="gateway")
+                    trace.finish(state=job.state.value, source=job.source)
                 job.done.set()
                 self._remember(job)
                 obs.inc("gateway.cache.hits", source="gateway")
@@ -436,7 +471,9 @@ class Gateway:
             raise GatewayRejected(self.admission.shed("queue_full"))
         except DispatcherDraining:
             self._forget(job_id)
-            raise GatewayRejected(self.admission.shed("draining"))
+            raise GatewayRejected(self.admission.shed(
+                "draining", retry_after=self.drain_timeout,
+            ))
         obs.inc("gateway.jobs_accepted")
         return job
 
@@ -463,6 +500,17 @@ class Gateway:
 
     def status(self, job_id: str) -> dict[str, object]:
         return self._job(job_id).snapshot()
+
+    def trace_payload(self, job_id: str) -> dict[str, object] | None:
+        """The job's assembled span tree, or ``None`` when the gateway
+        runs without an installed collector (tracing disabled)."""
+        job = self._job(job_id)
+        if job.trace is None:
+            return None
+        payload = job.trace.to_dict()
+        payload["job_id"] = job.job_id
+        payload["state"] = job.state.value
+        return payload
 
     def result(
         self, job_id: str, timeout: Optional[float] = None
@@ -547,62 +595,116 @@ class _Handler(JsonRequestHandler):
         return self.client_address[0]
 
     # ------------------------------------------------------------------
-    def do_POST(self) -> None:  # noqa - http.server naming convention
-        path = self.path.split("?", 1)[0].rstrip("/")
+    def _dispatch(
+        self, method: str, endpoint: str, handler: Callable[[], None]
+    ) -> None:
+        """Run one route with RED accounting and a structured access log.
+
+        Every request gets a ``gateway.http.requests`` count (by method,
+        endpoint *template* and status — raw paths would explode label
+        cardinality), a ``gateway.http.request_seconds`` observation and
+        one JSON log line on stderr carrying the same correlation id the
+        response's ``X-Request-Id`` header does.
+        """
+        clock = self.gateway._clock
+        started = clock()
         try:
-            if path == "/jobs":
-                self._submit()
-                return
-            parts = path.strip("/").split("/")
-            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
-                self._cancel(parts[1])
-                return
-            if (
-                len(parts) == 3
-                and parts[0] == "graphs"
-                and parts[2] == "mutations"
-            ):
-                self._mutate(parts[1])
-                return
-            self._send_json(404, {"error": f"no POST route {path!r}"})
+            handler()
         except Exception as error:  # noqa - serving must survive any request
             self._send_json(500, {"error": str(error)})
+        elapsed = clock() - started
+        status = self._last_status or 0
+        obs.inc(
+            "gateway.http.requests",
+            method=method, endpoint=endpoint, status=status,
+        )
+        obs.observe(
+            "gateway.http.request_seconds", elapsed, endpoint=endpoint,
+        )
+        print(json.dumps({
+            "log": "gateway.http",
+            "request_id": self.correlation_id(),
+            "method": method,
+            "endpoint": endpoint,
+            "path": self.path,
+            "status": status,
+            "seconds": round(elapsed, 6),
+        }, separators=(",", ":")), file=sys.stderr)
+
+    def _route_post(
+        self, path: str
+    ) -> tuple[str, Callable[[], None]] | None:
+        if path == "/jobs":
+            return "/jobs", self._submit
+        parts = path.strip("/").split("/")
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            return "/jobs/{id}/cancel", lambda: self._cancel(parts[1])
+        if (
+            len(parts) == 3
+            and parts[0] == "graphs"
+            and parts[2] == "mutations"
+        ):
+            return "/graphs/{name}/mutations", lambda: self._mutate(parts[1])
+        return None
+
+    def _route_get(
+        self, path: str
+    ) -> tuple[str, Callable[[], None]] | None:
+        if path == "/stats":
+            return "/stats", lambda: self._send_json(
+                200, self.gateway.stats()
+            )
+        if path == "/healthz":
+            return "/healthz", self._healthz
+        if path == "/metrics":
+            return "/metrics", self._metrics
+        if path == "/drift":
+            return "/drift", lambda: self._send_json(
+                200, self.gateway.drift()
+            )
+        parts = path.strip("/").split("/")
+        if len(parts) == 2 and parts[0] == "jobs":
+            return "/jobs/{id}", lambda: self._status(parts[1])
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            return "/jobs/{id}/result", lambda: self._result(parts[1])
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "trace":
+            return "/jobs/{id}/trace", lambda: self._trace(parts[1])
+        return None
+
+    def do_POST(self) -> None:  # noqa - http.server naming convention
+        path = self.path.split("?", 1)[0].rstrip("/")
+        route = self._route_post(path)
+        if route is None:
+            self._dispatch(
+                "POST", "<unmatched>",
+                lambda: self._send_json(
+                    404, {"error": f"no POST route {path!r}"}
+                ),
+            )
+            return
+        self._dispatch("POST", route[0], route[1])
 
     def do_GET(self) -> None:  # noqa - http.server naming convention
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        try:
-            if path == "/stats":
-                self._send_json(200, self.gateway.stats())
-            elif path == "/healthz":
-                self._healthz()
-            elif path == "/metrics":
-                self._metrics()
-            elif path == "/drift":
-                self._send_json(200, self.gateway.drift())
-            else:
-                parts = path.strip("/").split("/")
-                if len(parts) == 2 and parts[0] == "jobs":
-                    self._status(parts[1])
-                elif (
-                    len(parts) == 3
-                    and parts[0] == "jobs"
-                    and parts[2] == "result"
-                ):
-                    self._result(parts[1])
-                else:
-                    self._send_json(404, {
-                        "error": "not found",
-                        "endpoints": [
-                            "POST /jobs", "GET /jobs/<id>",
-                            "GET /jobs/<id>/result",
-                            "POST /jobs/<id>/cancel",
-                            "POST /graphs/<name>/mutations",
-                            "GET /drift",
-                            "GET /stats", "GET /healthz", "GET /metrics",
-                        ],
-                    })
-        except Exception as error:  # noqa - serving must survive any request
-            self._send_json(500, {"error": str(error)})
+        route = self._route_get(path)
+        if route is None:
+            self._dispatch(
+                "GET", "<unmatched>",
+                lambda: self._send_json(404, {
+                    "error": "not found",
+                    "endpoints": [
+                        "POST /jobs", "GET /jobs/<id>",
+                        "GET /jobs/<id>/result",
+                        "GET /jobs/<id>/trace",
+                        "POST /jobs/<id>/cancel",
+                        "POST /graphs/<name>/mutations",
+                        "GET /drift",
+                        "GET /stats", "GET /healthz", "GET /metrics",
+                    ],
+                }),
+            )
+            return
+        self._dispatch("GET", route[0], route[1])
 
     # ------------------------------------------------------------------
     def _submit(self) -> None:
@@ -690,6 +792,22 @@ class _Handler(JsonRequestHandler):
             )
             return
         self._send_json(200, ack)
+
+    def _trace(self, job_id: str) -> None:
+        try:
+            payload = self.gateway.trace_payload(job_id)
+        except UnknownGatewayJobError:
+            self._send_json(404, {"error": f"unknown job {job_id!r}"})
+            return
+        if payload is None:
+            self._send_json(404, {
+                "error": (
+                    f"no trace recorded for job {job_id!r} "
+                    "(gateway has no collector installed)"
+                ),
+            })
+            return
+        self._send_json(200, payload)
 
     def _cancel(self, job_id: str) -> None:
         try:

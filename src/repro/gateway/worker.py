@@ -33,6 +33,8 @@ from typing import IO
 from repro.datasets.base import Dataset
 from repro.datasets.snapshot import load_dataset
 from repro.gateway import protocol
+from repro.obs import distributed
+from repro.obs import trace as obs_trace
 from repro.service import MiningService, RetryPolicy
 
 __all__ = ["GatewayWorker", "main"]
@@ -111,9 +113,57 @@ class GatewayWorker:
         self._stdout.write(protocol.encode_line(message))
         self._stdout.flush()
 
+    def _begin_trace(
+        self, message: dict, job_id: str
+    ) -> tuple[object, object, str] | None:
+        """Adopt the gateway's trace context for one job, if present.
+
+        Installs a fresh per-job collector and opens the worker-side
+        root span; every service/pipeline span the mining run records
+        nests under it via the existing in-process propagation.  Returns
+        ``(collector, root, trace_id)`` plus remembers the previously
+        installed collector for restoration.
+        """
+        context = distributed.parse_traceparent(message.get("trace"))
+        if context is None:
+            return None
+        trace_id, parent_span = context
+        self._previous_collector = obs_trace.get_collector()
+        collector = obs_trace.TraceCollector()
+        obs_trace.install(collector)
+        root = collector.start_span("worker.job", {
+            "trace_id": trace_id,
+            "remote_parent": parent_span,
+            "job_id": job_id[:12],
+            "worker": self.worker_id,
+            "pid": os.getpid(),
+        })
+        return collector, root, trace_id
+
+    def _end_trace(
+        self, adopted: tuple[object, object, str] | None,
+        error: str | None = None,
+    ) -> tuple[str | None, dict | None]:
+        """Close the job's root span, restore the previous collector and
+        serialise the finished tree for the ``done`` event."""
+        if adopted is None:
+            return None, None
+        collector, root, trace_id = adopted
+        if error is not None:
+            root.attributes.setdefault("error", error)
+        collector.end_span(root)
+        previous = getattr(self, "_previous_collector", None)
+        if previous is not None:
+            obs_trace.install(previous)
+        else:
+            obs_trace.uninstall()
+        self._previous_collector = None
+        return trace_id, distributed.span_to_wire(root)
+
     def handle_job(self, message: dict) -> None:
         job_id = str(message.get("job_id", ""))
         started = time.monotonic()
+        adopted = self._begin_trace(message, job_id)
         try:
             spec = protocol.spec_from_payload(message["spec"])
             self._ensure_snapshot(spec.dataset, str(message["snapshot"]))
@@ -125,8 +175,12 @@ class GatewayWorker:
                 "rag_chunk_tokens": spec.rag_chunk_tokens,
                 "rag_top_k": spec.rag_top_k,
             }
+            trace_tags = (
+                {"trace_id": adopted[2]} if adopted is not None else None
+            )
             local_id = service.submit(
                 spec.dataset, spec.model, spec.method, spec.prompt_mode,
+                trace_tags=trace_tags,
                 **overrides,
             )
             run = service.result(local_id)
@@ -134,12 +188,16 @@ class GatewayWorker:
         except Exception as error:
             # JobFailedError, snapshot errors, protocol drift — anything
             # job-scoped becomes a failed done event, never a dead worker
+            reason = f"{type(error).__name__}: {error}"
+            trace_id, spans = self._end_trace(adopted, error=reason)
             self._emit(protocol.done_event(
                 job_id, ok=False,
                 run_seconds=time.monotonic() - started,
-                error=f"{type(error).__name__}: {error}",
+                error=reason,
+                trace=trace_id, spans=spans,
             ))
         else:
+            trace_id, spans = self._end_trace(adopted)
             self._emit(protocol.done_event(
                 job_id, ok=True,
                 cache_hit=bool(status["cache_hit"]),
@@ -148,6 +206,7 @@ class GatewayWorker:
                 rules=run.rule_count,
                 run_seconds=time.monotonic() - started,
                 computed_id=local_id,
+                trace=trace_id, spans=spans,
             ))
         finally:
             self.jobs_handled += 1

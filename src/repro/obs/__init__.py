@@ -29,6 +29,15 @@ from repro.obs.analyze import (
     load_trace,
     span_tokens,
 )
+from repro.obs.distributed import (
+    TraceAssembler,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    span_from_wire,
+    span_to_wire,
+)
 from repro.obs.export import (
     ParsedSpan,
     ParsedTrace,
@@ -77,6 +86,7 @@ __all__ = [
     "Span",
     "SpanStats",
     "TelemetryServer",
+    "TraceAssembler",
     "TraceCollector",
     "TraceContext",
     "aggregate_names",
@@ -85,16 +95,22 @@ __all__ = [
     "chrome_trace",
     "critical_path",
     "flamegraph_folded",
+    "format_traceparent",
     "get_collector",
     "inc",
     "install",
     "load_trace",
+    "new_span_id",
+    "new_trace_id",
     "observe",
     "parse_jsonl",
+    "parse_traceparent",
     "prometheus_text",
     "render_rows",
     "set_gauge",
     "span",
+    "span_from_wire",
+    "span_to_wire",
     "span_tokens",
     "summary_table",
     "to_jsonl",

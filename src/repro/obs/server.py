@@ -31,6 +31,7 @@ intact).
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -70,6 +71,34 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-http/1"
 
+    #: per-request correlation state (reset in :meth:`handle_one_request`)
+    _request_id: Optional[str] = None
+    _last_status: Optional[int] = None
+
+    def handle_one_request(self) -> None:  # noqa - http.server naming
+        self._request_id = None
+        self._last_status = None
+        super().handle_one_request()
+
+    def correlation_id(self) -> str:
+        """The request's correlation id: echo the client's
+        ``X-Request-Id`` when present (sanitised), else mint one.  The
+        id is stable for the request's lifetime — the response header
+        and every structured log line carry the same value."""
+        if self._request_id:
+            return self._request_id
+        incoming = None
+        headers = getattr(self, "headers", None)
+        if headers is not None:
+            incoming = headers.get("X-Request-Id")
+        if isinstance(incoming, str):
+            incoming = "".join(
+                ch for ch in incoming.strip()[:128]
+                if ch.isalnum() or ch in "-_.:"
+            )
+        self._request_id = incoming or os.urandom(8).hex()
+        return self._request_id
+
     def _send(
         self,
         status: int,
@@ -77,9 +106,11 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         content_type: str,
         headers: Optional[dict[str, str]] = None,
     ) -> None:
+        self._last_status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", self.correlation_id())
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()

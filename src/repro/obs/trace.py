@@ -204,6 +204,29 @@ class TraceCollector:
                 return
 
     # ------------------------------------------------------------------
+    # assembled-tree hooks (see :mod:`repro.obs.distributed`)
+    # ------------------------------------------------------------------
+    def next_span_id(self) -> int:
+        """Allocate one span id from the collector's counter.
+
+        Externally-assembled trees (fleet traces stitched together from
+        several processes) draw their ids here so :func:`~repro.obs
+        .export.parse_jsonl` — which links parents through a global id
+        table — never sees a collision with live spans.
+        """
+        return next(self._ids)
+
+    def add_root(self, root: Span) -> None:
+        """Publish an externally-built span tree as a new trace root.
+
+        The tree's ids must come from :meth:`next_span_id`; the spans are
+        never pushed on any thread stack, so publishing cannot disturb
+        in-flight instrumentation.
+        """
+        with self._lock:
+            self.roots.append(root)
+
+    # ------------------------------------------------------------------
     def iter_spans(self):
         """Every recorded span, depth-first across all roots."""
         with self._lock:

@@ -239,6 +239,7 @@ class MiningService:
         priority: int = 0,
         block: bool = True,
         timeout: Optional[float] = None,
+        trace_tags: Optional[dict] = None,
         **overrides: object,
     ) -> str:
         """Submit one grid cell; returns its content-addressed job id.
@@ -248,6 +249,7 @@ class MiningService:
         cache completes immediately as a DONE cache-hit job.  When the
         queue is at capacity the call blocks (``block``/``timeout``
         control backpressure behaviour; :class:`QueueFull` on refusal).
+        ``trace_tags`` are stamped onto the job's ``service.job`` span.
         """
         if self.draining:
             raise ServiceDraining(
@@ -266,6 +268,7 @@ class MiningService:
             # snapshot the caller's tracing position: the worker thread
             # attaches it so the job's spans join the submitter's tree
             trace_ctx=obs.capture(),
+            trace_tags=dict(trace_tags) if trace_tags else {},
         )
         cached = self.cache.get(job_id) if self.cache is not None else None
         if cached is not None:
@@ -449,6 +452,8 @@ class MiningService:
                 dataset=spec.dataset, model=spec.model,
                 method=spec.method, prompt_mode=spec.prompt_mode,
             ) as sp:
+                for tag, value in job.trace_tags.items():
+                    sp.set_attribute(tag, value)
                 run = call_with_retry(
                     attempt, self.retry_policy,
                     sleep=self._sleep, clock=self._clock,

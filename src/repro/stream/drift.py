@@ -51,6 +51,9 @@ class DriftEvent:
     epoch: int
     before: RuleMetrics
     after: RuleMetrics
+    #: trace id of the mutation batch that triggered the maintenance
+    #: pass (empty when the mutation carried no trace context)
+    trace_id: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -58,6 +61,7 @@ class DriftEvent:
             "dataset": self.dataset,
             "rule": self.rule_text,
             "epoch": self.epoch,
+            "trace_id": self.trace_id,
             "confidence_before": round(self.before.confidence, 2),
             "confidence_after": round(self.after.confidence, 2),
             "band_before": confidence_band(self.before),
@@ -70,17 +74,17 @@ class DriftEvent:
 
 
 def detect_drift(
-    dataset: str, report: MaintenanceReport
+    dataset: str, report: MaintenanceReport, trace_id: str = ""
 ) -> list[DriftEvent]:
     """Derive drift events from one maintenance report."""
     events: list[DriftEvent] = []
     for change in report.changes:
-        events.extend(_events_for(dataset, report.epoch, change))
+        events.extend(_events_for(dataset, report.epoch, change, trace_id))
     return events
 
 
 def _events_for(
-    dataset: str, epoch: int, change: RuleChange
+    dataset: str, epoch: int, change: RuleChange, trace_id: str = ""
 ) -> list[DriftEvent]:
     events: list[DriftEvent] = []
     if confidence_band(change.before) != confidence_band(change.after):
@@ -91,6 +95,7 @@ def _events_for(
             epoch=epoch,
             before=change.before,
             after=change.after,
+            trace_id=trace_id,
         ))
     if violations(change.after) > violations(change.before):
         events.append(DriftEvent(
@@ -100,6 +105,7 @@ def _events_for(
             epoch=epoch,
             before=change.before,
             after=change.after,
+            trace_id=trace_id,
         ))
     return events
 
@@ -113,9 +119,11 @@ class DriftDetector:
         self._total = 0
         self._by_kind: dict[str, int] = {}
 
-    def observe(self, report: MaintenanceReport) -> list[DriftEvent]:
+    def observe(
+        self, report: MaintenanceReport, trace_id: str = ""
+    ) -> list[DriftEvent]:
         """Fold one maintenance report; returns the new events."""
-        events = detect_drift(self.dataset, report)
+        events = detect_drift(self.dataset, report, trace_id)
         for event in events:
             self._events.append(event)
             self._total += 1

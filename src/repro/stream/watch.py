@@ -75,6 +75,7 @@ class WatchService:
         self._chunker: SlidingWindowChunker | None = None
         self._maintained_epoch = self.graph.epoch
         self._last_mutation_at: float | None = None
+        self._last_trace_id = ""
         self._batches_received = 0
         self._mutations_applied = 0
         self._maintenance = {
@@ -118,11 +119,14 @@ class WatchService:
     # ------------------------------------------------------------------
     # mutation intake
     # ------------------------------------------------------------------
-    def submit(self, payload: object) -> dict:
+    def submit(self, payload: object, trace_id: str = "") -> dict:
         """Validate and apply one mutation batch; returns an ack.
 
-        Raises :exc:`~repro.stream.mutations.MutationError` on malformed
-        or inapplicable batches.
+        ``trace_id`` (when the mutation arrived with trace context) is
+        remembered and stamped onto the drift events of the maintenance
+        pass this batch triggers.  Raises
+        :exc:`~repro.stream.mutations.MutationError` on malformed or
+        inapplicable batches.
         """
         mutations = parse_mutations(payload)
         with self._lock:
@@ -130,6 +134,8 @@ class WatchService:
             self._batches_received += 1
             self._mutations_applied += applied
             self._last_mutation_at = self._clock()
+            if trace_id:
+                self._last_trace_id = trace_id
         obs.inc("stream.mutation_batches")
         obs.inc("stream.mutations_applied", applied)
         return {
@@ -168,10 +174,13 @@ class WatchService:
             deltas = self.changelog.since(since)
             report = self._maintainer.apply(deltas, complete=complete)
             self._refresh_windows(deltas, complete)
-            events = self.detector.observe(report)
+            events = self.detector.observe(
+                report, trace_id=self._last_trace_id
+            )
             self._maintained_epoch = self.graph.epoch
             self.changelog.clear(through_epoch=self._maintained_epoch)
             self._last_mutation_at = None
+            self._last_trace_id = ""
             self._account(report, events)
             return report
 

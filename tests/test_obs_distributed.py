@@ -1,0 +1,296 @@
+"""Unit tests for cross-process trace stitching (repro.obs.distributed).
+
+Covers the three pieces the gateway fleet relies on:
+
+* traceparent mint/format/parse, including the W3C posture that a
+  malformed inbound header is *ignored* (never an error);
+* wire serialisation: offsets instead of absolute clocks, attr
+  sanitisation, thread-name prefixing on rebuild;
+* the gateway-side :class:`TraceAssembler` under a fake clock — phase
+  stacks, leaked-phase closure, grafting, once-only publication into a
+  collector's id space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.distributed import (
+    TraceAssembler,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    span_from_wire,
+    span_to_wire,
+)
+from repro.obs.trace import Span, TraceCollector
+
+
+class FakeClock:
+    """Deterministic monotonically advancing clock."""
+
+    def __init__(self, start: float = 100.0, step: float = 0.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# traceparent
+# ----------------------------------------------------------------------
+class TestTraceparent:
+    def test_mint_format_parse_round_trip(self):
+        trace_id = new_trace_id()
+        span_id = new_span_id()
+        assert len(trace_id) == 32 and len(span_id) == 16
+        header = format_traceparent(trace_id, span_id)
+        assert header == f"00-{trace_id}-{span_id}-01"
+        assert parse_traceparent(header) == (trace_id, span_id)
+
+    def test_ids_are_lowercase_hex_and_fresh(self):
+        ids = {new_trace_id() for _ in range(16)}
+        assert len(ids) == 16
+        for value in ids:
+            int(value, 16)  # raises on non-hex
+            assert value == value.lower()
+
+    def test_parse_normalises_case_and_whitespace(self):
+        trace_id, span_id = "ab" * 16, "cd" * 8
+        header = f"  00-{trace_id.upper()}-{span_id.upper()}-01  "
+        assert parse_traceparent(header) == (trace_id, span_id)
+
+    @pytest.mark.parametrize("header", [
+        None,                                   # absent
+        1234,                                   # not a string
+        b"00-" + b"ab" * 16,                    # bytes
+        "",                                     # empty
+        "00-abc-def-01",                        # wrong lengths
+        "00-" + "ab" * 16,                      # too few fields
+        "xx-" + "ab" * 16 + "-" + "cd" * 8 + "-01",   # non-hex version
+        "ff-" + "ab" * 16 + "-" + "cd" * 8 + "-01",   # forbidden version
+        "00-" + "gg" * 16 + "-" + "cd" * 8 + "-01",   # non-hex trace id
+        "00-" + "ab" * 16 + "-" + "zz" * 8 + "-01",   # non-hex span id
+        "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",    # all-zero trace id
+        "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",   # all-zero span id
+    ])
+    def test_malformed_headers_are_ignored_not_errors(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_extra_fields_tolerated(self):
+        # future versions may append fields; the first four still parse
+        trace_id, span_id = "ab" * 16, "cd" * 8
+        header = f"01-{trace_id}-{span_id}-01-extra-junk"
+        assert parse_traceparent(header) == (trace_id, span_id)
+
+
+# ----------------------------------------------------------------------
+# wire serialisation
+# ----------------------------------------------------------------------
+def make_tree(clock: FakeClock) -> Span:
+    collector = TraceCollector(wall_clock=clock)
+    root = collector.start_span("worker.job", {"pid": 4242})
+    clock.advance(1.0)
+    child = collector.start_span("mine.sliding_window", {
+        "windows": 4,
+        "spec": ("tiny", "llama3"),          # non-primitive attr
+    })
+    child.add_sim_time(12.5)
+    clock.advance(2.0)
+    collector.end_span(child)
+    clock.advance(0.5)
+    collector.end_span(root)
+    return root
+
+
+class TestWireRoundTrip:
+    def test_offsets_are_relative_and_rebase(self):
+        clock = FakeClock(start=500.0)
+        root = make_tree(clock)
+        wire = span_to_wire(root)
+        # no absolute clock readings leave the sender
+        assert wire["start"] == 0.0
+        assert wire["end"] == pytest.approx(3.5)
+        assert wire["children"][0]["start"] == pytest.approx(1.0)
+        assert wire["children"][0]["end"] == pytest.approx(3.0)
+
+        rebuilt = span_from_wire(wire, base=42.0)
+        assert rebuilt.start_wall == pytest.approx(42.0)
+        assert rebuilt.end_wall == pytest.approx(45.5)
+        inner = rebuilt.children[0]
+        assert inner.start_wall == pytest.approx(43.0)
+        assert inner.wall_seconds == pytest.approx(2.0)
+        assert inner.sim_seconds == pytest.approx(12.5)
+        assert inner.parent_id == rebuilt.span_id
+
+    def test_attrs_sanitised_to_json_primitives(self):
+        root = make_tree(FakeClock())
+        wire = span_to_wire(root)
+        attrs = wire["children"][0]["attrs"]
+        assert attrs["windows"] == 4
+        # tuples (unserialisable) are stringified, not dropped
+        assert attrs["spec"] == str(("tiny", "llama3"))
+        import json
+        json.dumps(wire)                       # the whole payload is JSON-safe
+
+    def test_thread_prefix_namespaces_sender_threads(self):
+        root = make_tree(FakeClock())
+        wire = span_to_wire(root)
+        rebuilt = span_from_wire(wire, base=0.0, thread_prefix="w1")
+        for span in rebuilt.walk():
+            assert span.thread.startswith("w1:")
+
+    def test_unfinished_span_survives_the_wire(self):
+        clock = FakeClock()
+        collector = TraceCollector(wall_clock=clock)
+        root = collector.start_span("worker.job")
+        wire = span_to_wire(root)              # never ended
+        assert wire["end"] is None
+        rebuilt = span_from_wire(wire, base=0.0)
+        assert rebuilt.end_wall is None
+        assert rebuilt.wall_seconds == 0.0
+
+
+# ----------------------------------------------------------------------
+# TraceAssembler
+# ----------------------------------------------------------------------
+class TestAssembler:
+    def test_begin_is_idempotent(self):
+        asm = TraceAssembler(clock=FakeClock())
+        first = asm.begin("gateway.job", job_id="abc", skipped=None)
+        second = asm.begin("gateway.job", job_id="zzz")
+        assert first is second
+        assert first.attributes["job_id"] == "abc"
+        assert "skipped" not in first.attributes      # None never stamped
+        assert first.attributes["trace_id"] == asm.trace_id
+        assert first.attributes["traceparent"] == asm.traceparent
+
+    def test_adopted_trace_id_flows_into_traceparent(self):
+        trace_id = "ab" * 16
+        asm = TraceAssembler(trace_id=trace_id, clock=FakeClock())
+        parsed = parse_traceparent(asm.traceparent)
+        assert parsed is not None and parsed[0] == trace_id
+
+    def test_phases_stack_and_close_lifo(self):
+        clock = FakeClock()
+        asm = TraceAssembler(clock=clock)
+        asm.begin()
+        clock.advance(1.0)
+        outer = asm.start_phase("gateway.attempt", attempt=0)
+        clock.advance(1.0)
+        inner = asm.start_phase("gateway.attempt", attempt=1)
+        clock.advance(1.0)
+        assert asm.end_phase("gateway.attempt", ok=True) is inner
+        assert asm.end_phase("gateway.attempt") is outer
+        assert inner.wall_seconds == pytest.approx(1.0)
+        assert outer.wall_seconds == pytest.approx(2.0)
+        assert inner.attributes["ok"] is True
+        # closing an un-opened phase is a no-op, not an error
+        assert asm.end_phase("gateway.queue") is None
+
+    def test_finish_closes_leaked_phases_and_stamps_root(self):
+        clock = FakeClock()
+        asm = TraceAssembler(clock=clock)
+        asm.begin()
+        leaked = asm.start_phase("gateway.queue")
+        clock.advance(3.0)
+        root = asm.finish(state="done", error=None)
+        assert leaked.finished and leaked.wall_seconds == pytest.approx(3.0)
+        assert root.finished
+        assert root.attributes["state"] == "done"
+        assert "error" not in root.attributes
+
+    def test_events_are_zero_duration(self):
+        asm = TraceAssembler(clock=FakeClock())
+        marker = asm.event("gateway.requeue", worker="w1")
+        assert marker.finished and marker.wall_seconds == 0.0
+        assert marker.attributes["worker"] == "w1"
+        assert marker in asm.begin().children
+
+    def test_graft_rebases_fragment_at_anchor(self):
+        clock = FakeClock()
+        asm = TraceAssembler(clock=clock)
+        asm.begin()
+        clock.advance(5.0)
+        attempt = asm.start_phase("gateway.attempt")
+        worker_tree = make_tree(FakeClock(start=9000.0))
+        fragment = asm.graft(
+            span_to_wire(worker_tree), under=attempt, worker="w0",
+        )
+        assert fragment in attempt.children
+        # the remote zero offset maps to the attempt's start, regardless
+        # of the sender's (arbitrary) clock
+        assert fragment.start_wall == pytest.approx(attempt.start_wall)
+        assert fragment.thread.startswith("w0:")
+        assert asm.graft("not-a-mapping") is None
+
+    def test_publish_once_into_collector_id_space(self):
+        collector = TraceCollector()
+        burned = collector.start_span("existing")
+        collector.end_span(burned)
+        asm = TraceAssembler(clock=FakeClock())
+        asm.begin()
+        asm.start_phase("gateway.queue")
+        asm.end_phase("gateway.queue")
+        asm.finish(state="done")               # no collector installed: no-op
+        assert asm.publish(collector) is True
+        assert asm.publish(collector) is False  # once only
+        assert asm.root in collector.roots
+        ids = [span.span_id for span in asm.root.walk()]
+        assert len(set(ids)) == len(ids)
+        # ids continue the collector's counter — no collision with live spans
+        assert min(ids) > burned.span_id
+        for span in asm.root.walk():
+            for child in span.children:
+                assert child.parent_id == span.span_id
+
+    def test_pids_collects_distinct_pids_across_graft(self):
+        asm = TraceAssembler(clock=FakeClock())
+        asm.begin()                            # stamps the gateway pid
+        attempt = asm.start_phase("gateway.attempt")
+        asm.graft(span_to_wire(make_tree(FakeClock())), under=attempt)
+        gateway_pid = asm.root.attributes["pid"]
+        assert asm.pids() == sorted({gateway_pid, 4242})
+
+    def test_to_dict_renders_connected_tree(self):
+        collector = TraceCollector()
+        clock = FakeClock()
+        asm = TraceAssembler(clock=clock)
+        asm.begin(job_id="abc")
+        attempt = asm.start_phase("gateway.attempt")
+        asm.graft(span_to_wire(make_tree(FakeClock())), under=attempt)
+        clock.advance(1.0)
+        asm.end_phase("gateway.attempt")
+        asm.finish(state="done")
+        asm.publish(collector)
+        payload = asm.to_dict()
+        assert payload["trace_id"] == asm.trace_id
+        assert payload["complete"] is True
+        assert payload["spans"] == sum(1 for _ in asm.root.walk())
+
+        seen: set[int] = set()
+
+        def walk(node: dict, parent: int | None) -> None:
+            assert node["id"] not in seen
+            seen.add(node["id"])
+            assert node["parent"] == parent
+            for child in node["children"]:
+                walk(child, node["id"])
+
+        walk(payload["root"], None)
+        assert len(seen) == payload["spans"]
+
+    def test_to_dict_before_begin_is_empty_not_an_error(self):
+        asm = TraceAssembler(clock=FakeClock())
+        payload = asm.to_dict()
+        assert payload["root"] is None
+        assert payload["spans"] == 0
+        assert payload["complete"] is False
+        assert payload["pids"] == []

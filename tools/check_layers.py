@@ -70,6 +70,19 @@ LAYERS = {
     "stream": 6,
 }
 
+#: intra-obs sublayer ranks: the obs package is itself a small layer
+#: cake (metrics < trace < propagate/export/distributed < analyze <
+#: server); an upward import here is the same cycle risk in miniature
+OBS_LAYERS = {
+    "metrics": 0,
+    "trace": 1,
+    "propagate": 2,
+    "export": 2,
+    "distributed": 2,
+    "analyze": 3,
+    "server": 4,
+}
+
 #: names a module may re-export without "using" them (init conventions)
 _INIT_NAMES = ("__init__.py",)
 
@@ -160,6 +173,37 @@ def check_layering(path: Path, tree: ast.AST) -> list[str]:
                 f"{relative}:{node.lineno}: layering violation: "
                 f"repro.{own} (layer {own_rank}) imports "
                 f"repro.{target} (layer {LAYERS[target]})"
+            )
+    return violations
+
+
+def _obs_module_of(module: str) -> str | None:
+    """``repro.obs.trace`` → ``trace``; None outside repro.obs."""
+    parts = module.split(".")
+    if parts[:2] != ["repro", "obs"] or len(parts) < 3:
+        return None
+    return parts[2]
+
+
+def check_obs_sublayers(path: Path, tree: ast.AST) -> list[str]:
+    """Enforce the intra-obs layer cake (see :data:`OBS_LAYERS`)."""
+    relative = path.relative_to(SRC)
+    if relative.parts[:2] != ("repro", "obs"):
+        return []
+    own = path.stem
+    if own not in OBS_LAYERS:          # __init__ re-exports everything
+        return []
+    own_rank = OBS_LAYERS[own]
+    violations = []
+    for node, imported, _bound in iter_imports(tree):
+        target = _obs_module_of(imported)
+        if target is None or target not in OBS_LAYERS:
+            continue
+        if OBS_LAYERS[target] > own_rank:
+            violations.append(
+                f"{relative}:{node.lineno}: obs sublayer violation: "
+                f"obs.{own} (rank {own_rank}) imports "
+                f"obs.{target} (rank {OBS_LAYERS[target]})"
             )
     return violations
 
@@ -367,6 +411,7 @@ def main(argv: list[str] | None = None) -> int:
         checked += 1
         if path.is_relative_to(SRC):
             problems.extend(check_layering(path, tree))
+            problems.extend(check_obs_sublayers(path, tree))
             problems.extend(check_wallclock(path, tree, allowlist))
         problems.extend(check_lint(path, tree, source))
         problems.extend(check_bare_except(path, tree))

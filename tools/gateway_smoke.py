@@ -55,6 +55,57 @@ def fail(message: str) -> int:
     return 1
 
 
+def check_fleet_trace(payload: dict) -> str | None:
+    """Verify one assembled trace is a single connected cross-PID tree.
+
+    Returns an error message, or None when the trace holds up.
+    """
+    root = payload.get("root")
+    if not root:
+        return "trace has no root span"
+    if not payload.get("complete"):
+        return "trace was served before assembly completed"
+
+    seen_ids: set[int] = set()
+    names: list[str] = []
+
+    def walk(span: dict, parent_id: int | None) -> str | None:
+        if span["id"] in seen_ids:
+            return f"duplicate span id {span['id']} (not a tree)"
+        seen_ids.add(span["id"])
+        names.append(span["name"])
+        if span["parent"] != parent_id:
+            return (
+                f"orphaned span {span['name']!r}: parent "
+                f"{span['parent']} != {parent_id}"
+            )
+        for child in span.get("children", ()):
+            problem = walk(child, span["id"])
+            if problem:
+                return problem
+        return None
+
+    problem = walk(root, None)
+    if problem:
+        return problem
+    if len(seen_ids) != payload.get("spans"):
+        return (
+            f"span count mismatch: walked {len(seen_ids)}, "
+            f"payload says {payload.get('spans')}"
+        )
+    pids = payload.get("pids") or []
+    if len(pids) < 2:
+        return (
+            f"trace spans {len(pids)} PID(s), expected >= 2 "
+            "(gateway + worker)"
+        )
+    if "worker.job" not in names:
+        return "no worker.job span was grafted into the gateway tree"
+    if "gateway.attempt" not in names:
+        return "no gateway.attempt phase recorded"
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -68,6 +119,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--metrics-out", metavar="PATH", default=None,
         help="write the final /metrics exposition to PATH",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write one assembled fleet trace (JSON) to PATH",
     )
     args = parser.parse_args(argv)
 
@@ -98,6 +153,21 @@ def main(argv: list[str] | None = None) -> int:
                 f"fleet completed {stats['dispatcher']['completed']} "
                 f"of {len(CELLS)} jobs"
             )
+        # one connected trace per job: fetch the assembled tree for the
+        # first dispatched cell and verify it spans gateway + worker PIDs
+        trace = client.trace(job_ids[CELLS[0]])
+        problem = check_fleet_trace(trace)
+        if problem:
+            return fail(f"fleet trace: {problem}")
+        print(
+            f"fleet trace OK: {trace['spans']} spans across "
+            f"PIDs {trace['pids']} (trace {trace['trace_id'][:12]})"
+        )
+        if args.trace_out:
+            Path(args.trace_out).write_text(
+                json.dumps(trace, indent=2, sort_keys=True, default=str)
+            )
+            print(f"fleet trace written to {args.trace_out}")
 
     svc = MiningService(
         cache_dir=None, workers=2,
