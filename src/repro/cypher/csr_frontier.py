@@ -1,0 +1,415 @@
+"""CSR frontier expansion for planned MATCH clauses.
+
+The legacy matcher in :mod:`repro.cypher.matcher` walks Python objects:
+every expansion fetches a node's edge dict, filters by relationship type
+edge-by-edge, and re-checks labels through ``Node.labels`` sets.  This
+module runs the same depth-first search against the int-id columnar
+snapshot (:class:`repro.graph.columnar.ColumnarGraph`) instead:
+
+* frontiers expand over contiguous CSR adjacency slices — a single-type
+  relationship reads exactly its typed segment, so edges of other types
+  are never touched (``MatchStats.visits`` measures this);
+* label filtering compares interned label codes;
+* pushed-down WHERE prefilters of the shape ``var.key = <literal>`` /
+  ``var.key IS [NOT] NULL`` are evaluated against the property columns
+  *before* a bindings dict is materialized — only the order-preserved
+  remainder goes through the general evaluator;
+* relationship uniqueness is a bitset keyed by dense edge id.
+
+Row-for-row equivalence with the legacy matcher is the contract (the
+planner only routes clauses here when every pattern is free of
+variable-length relationships): candidate enumeration order, per-edge
+check order, and error semantics all mirror ``matcher`` exactly — the
+hypothesis suite in ``tests/test_columnar_equivalence.py`` holds the two
+paths to identical rows and identical exceptions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.cypher.ast_nodes import (
+    BinaryOp,
+    Expression,
+    IsNull,
+    Literal,
+    NodePattern,
+    PathPattern,
+    PropertyAccess,
+    RelPattern,
+    Variable,
+)
+from repro.cypher.errors import CypherError, CypherSemanticError
+from repro.cypher.evaluator import EvalContext, _equals, evaluate
+from repro.cypher.matcher import (
+    MatchStats,
+    Path,
+    SeedSpec,
+    _checks_pass,
+    _edge_satisfies,
+    _node_satisfies,
+    _properties_match,
+)
+from repro.graph.columnar import ColumnarGraph
+from repro.graph.model import Edge, Node
+from repro.graph.store import PropertyGraph, property_index_key
+
+__all__ = ["match_clause_csr"]
+
+#: a column prefilter: ("eq", key, literal) or ("null", key, negated)
+_ColumnTest = tuple[str, str, object]
+
+
+def _column_test(
+    predicate: Expression, variable: str | None
+) -> _ColumnTest | None:
+    """Compile one pushed conjunct into a column test, if it only reads
+    ``variable``'s own properties against constants (such a test cannot
+    raise and cannot see any other binding)."""
+    if variable is None:
+        return None
+    if isinstance(predicate, IsNull):
+        operand = predicate.operand
+        if (
+            isinstance(operand, PropertyAccess)
+            and isinstance(operand.subject, Variable)
+            and operand.subject.name == variable
+        ):
+            return ("null", operand.key, predicate.negated)
+        return None
+    if isinstance(predicate, BinaryOp) and predicate.op == "=":
+        sides = (
+            (predicate.left, predicate.right),
+            (predicate.right, predicate.left),
+        )
+        for prop, literal in sides:
+            if (
+                isinstance(prop, PropertyAccess)
+                and isinstance(prop.subject, Variable)
+                and prop.subject.name == variable
+                and isinstance(literal, Literal)
+            ):
+                return ("eq", prop.key, literal.value)
+    return None
+
+
+def _column_prefix(
+    predicates: Sequence[Expression] | None, variable: str | None
+) -> tuple[tuple[_ColumnTest, ...], tuple[Expression, ...]]:
+    """Split pushed conjuncts into a *leading* run of column tests plus
+    the order-preserved remainder.
+
+    Only a prefix may be hoisted: ``all()`` evaluates conjuncts in order
+    and a later conjunct may raise, so skipping ahead of one would
+    change error semantics.
+    """
+    if not predicates:
+        return (), ()
+    fast: list[_ColumnTest] = []
+    remainder = list(predicates)
+    while remainder:
+        test = _column_test(remainder[0], variable)
+        if test is None:
+            break
+        fast.append(test)
+        remainder.pop(0)
+    return tuple(fast), tuple(remainder)
+
+
+def _passes_columns(
+    snapshot: ColumnarGraph, nid: int, tests: tuple[_ColumnTest, ...]
+) -> bool:
+    for kind, key, payload in tests:
+        value = snapshot.node_prop(nid, key)
+        if kind == "eq":
+            if _equals(value, payload) is not True:
+                return False
+        else:  # "null": payload is the IS NOT NULL flag
+            if (value is None) == payload:
+                return False
+    return True
+
+
+def _prepare_pattern(
+    snapshot: ColumnarGraph,
+    pattern: PathPattern,
+    checks: Mapping[int, Sequence[Expression]],
+) -> dict[int, object]:
+    """Per-element int-domain metadata: the typed-slice code for each
+    relationship, and (label codes, column prefilters, residual checks)
+    for each node element."""
+    meta: dict[int, object] = {}
+    for index, element in enumerate(pattern.elements):
+        if isinstance(element, RelPattern):
+            meta[index] = (
+                snapshot.single_type_code(element.types[0])
+                if len(element.types) == 1
+                else None
+            )
+        else:
+            codes = tuple(
+                snapshot.label_code.get(label, -1)
+                for label in element.labels
+            )
+            fast, rest = _column_prefix(
+                checks.get(index), element.variable
+            )
+            meta[index] = (codes, fast, rest)
+    return meta
+
+
+def _seed_nids(
+    graph: PropertyGraph,
+    snapshot: ColumnarGraph,
+    pattern: NodePattern,
+    seed: SeedSpec | None,
+    bindings: Mapping[str, object],
+    parameters: Mapping[str, object] | None,
+) -> Iterator[int]:
+    """Dense-id candidate source mirroring ``matcher._seed_source``."""
+    if seed is not None and seed.kind == "index":
+        ctx = EvalContext(
+            graph=graph, parameters=parameters or {},
+            bindings=dict(bindings),
+        )
+        try:
+            value = evaluate(seed.value, ctx)
+        except CypherError:
+            value = None  # unevaluable now; fall back to the label scan
+        if value is not None:
+            index_key = property_index_key(value)
+            if index_key is not None:
+                return snapshot.index_candidates(
+                    seed.label, seed.key, index_key
+                )
+        return snapshot.label_candidates(seed.label)
+    if seed is not None and seed.kind == "label":
+        return snapshot.label_candidates(seed.label)
+    if seed is not None and seed.kind == "scan":
+        return snapshot.all_candidates()
+    if pattern.labels:
+        return snapshot.label_candidates(pattern.labels[0])
+    return snapshot.all_candidates()
+
+
+def _adjacent(
+    snapshot: ColumnarGraph,
+    nid: int,
+    rel: RelPattern,
+    rel_tc: int | None,
+    stats: MatchStats | None,
+) -> Iterator[tuple[int, int]]:
+    """(edge, neighbour) dense-id frontier for one relationship step.
+
+    Each direction is one contiguous slice fetch; ``visits`` counts the
+    entries actually touched (for a typed slice, only matching edges —
+    the legacy path pays for the whole row).
+    """
+    if nid < 0:
+        return
+    if rel.direction in ("out", "any"):
+        if stats is not None:
+            stats.csr_frontiers += 1
+        for pair in snapshot.adjacency(nid, rel_tc, True):
+            if stats is not None:
+                stats.visits += 1
+            yield pair
+    if rel.direction in ("in", "any"):
+        if stats is not None:
+            stats.csr_frontiers += 1
+        for pair in snapshot.adjacency(nid, rel_tc, False):
+            if stats is not None:
+                stats.visits += 1
+            yield pair
+
+
+def _walk(
+    graph: PropertyGraph,
+    snapshot: ColumnarGraph,
+    elements: Sequence[object],
+    index: int,
+    nid: int,
+    bindings: dict[str, object],
+    used: bytearray,
+    trail: list[object],
+    checks: Mapping[int, Sequence[Expression]],
+    meta: Mapping[int, object],
+    parameters: Mapping[str, object] | None,
+    stats: MatchStats | None,
+) -> Iterator[tuple[dict[str, object], list[object]]]:
+    """DFS over the remaining (rel, node) element pairs, in dense ids.
+
+    Check order per edge mirrors ``matcher._match_path_elements``
+    exactly: uniqueness, relationship filters, rel-bound identity, node
+    filters, node-bound identity, then pushed checks (column prefix
+    first — it is the leading run of the same conjunct list).
+    """
+    if index >= len(elements):
+        yield bindings, trail
+        return
+
+    rel: RelPattern = elements[index]          # type: ignore[assignment]
+    next_pattern: NodePattern = elements[index + 1]  # type: ignore
+    rel_tc = meta[index]
+    codes, fast, rest = meta[index + 1]
+    rel_bound = rel.variable is not None and rel.variable in bindings
+    node_bound = (
+        next_pattern.variable is not None
+        and next_pattern.variable in bindings
+    )
+
+    for eid, nbr in _adjacent(snapshot, nid, rel, rel_tc, stats):
+        if stats is not None:
+            stats.expansions += 1
+        if used[eid >> 3] & (1 << (eid & 7)):
+            continue
+        edge = snapshot.edge_objs[eid]
+        if not _edge_satisfies(graph, edge, rel, bindings):
+            continue
+        if rel_bound:
+            bound = bindings[rel.variable]
+            if not isinstance(bound, Edge) or bound.id != edge.id:
+                continue
+        if codes and not snapshot.has_labels(nbr, codes):
+            continue
+        neighbour = snapshot.node_objs[nbr]
+        if next_pattern.properties and not _properties_match(
+            graph, neighbour, next_pattern.properties, bindings
+        ):
+            continue
+        if node_bound:
+            bound = bindings[next_pattern.variable]
+            if not isinstance(bound, Node) or bound.id != neighbour.id:
+                continue
+        if fast and not _passes_columns(snapshot, nbr, fast):
+            continue
+        new_bindings = dict(bindings)
+        if rel.variable:
+            new_bindings[rel.variable] = edge
+        if next_pattern.variable:
+            new_bindings[next_pattern.variable] = neighbour
+        if rest and not _checks_pass(rest, graph, new_bindings, parameters):
+            continue
+        used[eid >> 3] |= 1 << (eid & 7)
+        try:
+            yield from _walk(
+                graph, snapshot, elements, index + 2, nbr,
+                new_bindings, used, trail + [edge, neighbour],
+                checks, meta, parameters, stats,
+            )
+        finally:
+            used[eid >> 3] &= 0xFF ^ (1 << (eid & 7))
+
+
+def _match_path_csr(
+    graph: PropertyGraph,
+    snapshot: ColumnarGraph,
+    pattern: PathPattern,
+    bindings: dict[str, object],
+    used: bytearray,
+    seed: SeedSpec | None,
+    checks: Mapping[int, Sequence[Expression]],
+    meta: Mapping[int, object],
+    parameters: Mapping[str, object] | None,
+    stats: MatchStats | None,
+) -> Iterator[dict[str, object]]:
+    """All bindings extensions matching one path (cf. ``match_path``)."""
+    if not pattern.elements:
+        return
+    first = pattern.elements[0]
+    if not isinstance(first, NodePattern):
+        raise CypherSemanticError("path pattern must start with a node")
+
+    def finish(
+        start_bindings: dict[str, object], nid: int, start: Node
+    ) -> Iterator[dict[str, object]]:
+        for final_bindings, trail in _walk(
+            graph, snapshot, pattern.elements, 1, nid,
+            start_bindings, used, [start], checks, meta, parameters, stats,
+        ):
+            if pattern.variable:
+                final_bindings = dict(final_bindings)
+                final_bindings[pattern.variable] = Path(trail)
+            yield final_bindings
+
+    if first.variable is not None and first.variable in bindings:
+        # a bound start may be a stale object (rebound across write
+        # clauses); filters and checks must see *that* object, so the
+        # columns are not consulted here — only its adjacency is,
+        # resolved by id (absent ids expand to nothing, like the store)
+        bound = bindings[first.variable]
+        if stats is not None:
+            stats.seeds += 1
+        if not (
+            isinstance(bound, Node)
+            and _node_satisfies(graph, bound, first, bindings)
+        ):
+            return
+        start_bindings = dict(bindings)
+        start_bindings[first.variable] = bound
+        if not _checks_pass(checks.get(0), graph, start_bindings, parameters):
+            return
+        nid = snapshot.node_index.get(bound.id, -1)
+        yield from finish(start_bindings, nid, bound)
+        return
+
+    codes, fast, rest = meta[0]
+    for nid in _seed_nids(
+        graph, snapshot, first, seed, bindings, parameters
+    ):
+        if stats is not None:
+            stats.seeds += 1
+        if codes and not snapshot.has_labels(nid, codes):
+            continue
+        start = snapshot.node_objs[nid]
+        if first.properties and not _properties_match(
+            graph, start, first.properties, bindings
+        ):
+            continue
+        if fast and not _passes_columns(snapshot, nid, fast):
+            continue
+        start_bindings = dict(bindings)
+        if first.variable:
+            start_bindings[first.variable] = start
+        if rest and not _checks_pass(rest, graph, start_bindings, parameters):
+            continue
+        yield from finish(start_bindings, nid, start)
+
+
+def match_clause_csr(
+    graph: PropertyGraph,
+    snapshot: ColumnarGraph,
+    steps: Sequence[tuple],
+    bindings: dict[str, object],
+    *,
+    parameters: Mapping[str, object] | None = None,
+    stats: MatchStats | None = None,
+) -> Iterator[dict[str, object]]:
+    """Match one planned MATCH clause over the columnar snapshot.
+
+    ``steps`` is the planner's (pattern, seed, checks) sequence —
+    relationship uniqueness spans all of them, tracked in one bitset
+    keyed by dense edge id.  Rows are identical to
+    ``matcher.match_patterns`` on the same plan.
+    """
+    used = bytearray((len(snapshot.edge_ids) + 7) // 8 or 1)
+    prepared = [
+        (pattern, seed, checks or {},
+         _prepare_pattern(snapshot, pattern, checks or {}))
+        for pattern, seed, checks in steps
+    ]
+
+    def recurse(
+        index: int, current_bindings: dict[str, object]
+    ) -> Iterator[dict[str, object]]:
+        if index >= len(prepared):
+            yield current_bindings
+            return
+        pattern, seed, checks, meta = prepared[index]
+        for new_bindings in _match_path_csr(
+            graph, snapshot, pattern, current_bindings, used,
+            seed, checks, meta, parameters, stats,
+        ):
+            yield from recurse(index + 1, new_bindings)
+
+    yield from recurse(0, bindings)

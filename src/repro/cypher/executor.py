@@ -228,6 +228,7 @@ class Executor:
         graph: PropertyGraph,
         parameters: Mapping[str, object] | None = None,
         planner: "QueryPlanner | None | object" = _DEFAULT,
+        columnar: bool = True,
     ) -> None:
         self.graph = graph
         self.parameters = dict(parameters or {})
@@ -237,6 +238,9 @@ class Executor:
             planner = default_planner()
         # escape hatch: Executor(graph, planner=None) runs unplanned
         self.planner: "QueryPlanner | None" = planner
+        # escape hatch: columnar=False pins every clause to the legacy
+        # matcher even when the graph has a CSR snapshot available
+        self.columnar = columnar
 
     # ------------------------------------------------------------------
     def _plan(self, query: Query) -> "QueryPlan | None":
@@ -575,6 +579,8 @@ class Executor:
         finally:
             obs.inc("matcher.seeds", stats.seeds)
             obs.inc("matcher.expansions", stats.expansions)
+            obs.inc("matcher.visits", stats.visits)
+            obs.inc("matcher.csr.frontier_expansions", stats.csr_frontiers)
             if clause_plan is not None:
                 obs.observe("planner.estimated_rows", clause_plan.estimate)
                 obs.observe("planner.actual_rows", matched_total)
@@ -609,6 +615,7 @@ class Executor:
                     plan=clause_plan,
                     parameters=self.parameters,
                     stats=stats,
+                    columnar=self.columnar,
                 ):
                     if clause_plan.residual is not None:
                         residual = evaluate(

@@ -62,16 +62,27 @@ class SeedSpec:
 
 
 class MatchStats:
-    """Mutable node-expansion counters for one match run."""
+    """Mutable node-expansion counters for one match run.
 
-    __slots__ = ("seeds", "expansions")
+    ``expansions`` (pairs surviving the relationship-type filter) is
+    identical between the legacy and CSR paths by construction;
+    ``visits`` (adjacency entries touched *before* type filtering) is
+    where the CSR typed slices win, and is the A/B benchmark metric.
+    """
+
+    __slots__ = ("seeds", "expansions", "visits", "csr_frontiers")
 
     def __init__(self) -> None:
-        self.seeds = 0       # candidate start nodes enumerated
-        self.expansions = 0  # (edge, neighbour) pairs considered
+        self.seeds = 0          # candidate start nodes enumerated
+        self.expansions = 0     # (edge, neighbour) pairs considered
+        self.visits = 0         # adjacency entries touched pre-filter
+        self.csr_frontiers = 0  # contiguous CSR slices fetched
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"MatchStats(seeds={self.seeds}, expansions={self.expansions})"
+        return (
+            f"MatchStats(seeds={self.seeds}, expansions={self.expansions}, "
+            f"visits={self.visits}, csr_frontiers={self.csr_frontiers})"
+        )
 
 
 class Path:
@@ -228,15 +239,30 @@ def _expand(
     graph: PropertyGraph,
     node: Node,
     rel: RelPattern,
+    stats: MatchStats | None = None,
 ) -> Iterator[tuple[Edge, Node]]:
     """Edges leaving ``node`` that satisfy ``rel``'s direction and type,
-    paired with the node they lead to."""
+    paired with the node they lead to.
+
+    The type filter runs here, edge by edge over the full adjacency row
+    — ``stats.visits`` counts every row entry touched, which is the
+    honest cost this object-walking path pays and the CSR typed slices
+    avoid.
+    """
     label_filter = rel.types[0] if len(rel.types) == 1 else None
     if rel.direction in ("out", "any"):
-        for edge in graph.out_edges(node.id, label=label_filter):
+        for edge in graph.out_edges(node.id):
+            if stats is not None:
+                stats.visits += 1
+            if label_filter is not None and edge.label != label_filter:
+                continue
             yield edge, graph.node(edge.dst)
     if rel.direction in ("in", "any"):
-        for edge in graph.in_edges(node.id, label=label_filter):
+        for edge in graph.in_edges(node.id):
+            if stats is not None:
+                stats.visits += 1
+            if label_filter is not None and edge.label != label_filter:
+                continue
             yield edge, graph.node(edge.src)
 
 
@@ -266,7 +292,7 @@ def _match_path_elements(
     next_node_pattern: NodePattern = elements[index + 1]  # type: ignore
 
     if not rel.is_variable_length:
-        for edge, neighbour in _expand(graph, current, rel):
+        for edge, neighbour in _expand(graph, current, rel, stats):
             if stats is not None:
                 stats.expansions += 1
             if edge.id in used_edges:
@@ -318,7 +344,7 @@ def _match_path_elements(
             yield edges_so_far, node
         if hops >= rel.max_hops:
             return
-        for edge, neighbour in _expand(graph, node, rel):
+        for edge, neighbour in _expand(graph, node, rel, stats):
             if stats is not None:
                 stats.expansions += 1
             if edge.id in used_edges:
@@ -413,6 +439,7 @@ def match_patterns(
     plan: object | None = None,
     parameters: Mapping[str, object] | None = None,
     stats: MatchStats | None = None,
+    columnar: bool = True,
 ) -> Iterator[dict[str, object]]:
     """Match a comma-separated pattern list (one MATCH clause).
 
@@ -421,11 +448,36 @@ def match_patterns(
     object exposing ``steps`` of (pattern, seed, checks)), the planned
     pattern order, orientations, seeds and pushed-down checks are used
     instead of the written order; ``patterns`` is then ignored.
+
+    When the plan is marked columnar-eligible and the graph has the
+    columnar core enabled, the clause runs on the CSR frontier path
+    (:mod:`repro.cypher.csr_frontier`) — same rows, contiguous
+    adjacency.  ``columnar=False`` forces the legacy object walk.
     """
     if plan is not None:
         steps = tuple(
             (step.pattern, step.seed, step.checks) for step in plan.steps
         )
+        if (
+            columnar
+            and getattr(plan, "columnar", False)
+            and getattr(graph, "columnar_enabled", False)
+        ):
+            snapshot = None
+            try:
+                snapshot = graph.columnar()
+            except Exception:
+                from repro import obs
+
+                obs.inc("matcher.csr.fallbacks")
+            if snapshot is not None:
+                from repro.cypher.csr_frontier import match_clause_csr
+
+                yield from match_clause_csr(
+                    graph, snapshot, steps, bindings,
+                    parameters=parameters, stats=stats,
+                )
+                return
     else:
         steps = tuple((pattern, None, None) for pattern in patterns)
     used_edges: set[str] = set()

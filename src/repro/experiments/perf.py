@@ -237,6 +237,12 @@ def collect_profile(seed: int = 0) -> dict:
     # instances in-process, so a second profile in the same process
     # would otherwise see warm plans and different planner.* counters
     clear_plan_caches()
+    # same for the CSR snapshot cache: a warm columnar compile on the
+    # shared graph instance would skip the graph.csr.* counters the
+    # baseline pins
+    from repro.datasets import load
+
+    load(WORKLOAD["dataset"]).graph.invalidate_columnar()
     previous = obs.get_collector()
     collector = obs.TraceCollector()
     obs.install(collector)

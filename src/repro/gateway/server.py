@@ -279,7 +279,9 @@ class Gateway:
                     f"dataset {key!r} is not servable: {error}"
                 ) from error
             path = self.snapshot_dir / f"{key}.json"
-            save_dataset(dataset, path)
+            # embed the compiled CSR so every worker process adopts it
+            # instead of recompiling the graph on its first job
+            save_dataset(dataset, path, include_csr=True)
             entry = (str(path), graph_fingerprint(dataset.graph))
             self._datasets[key] = entry
             self._dataset_objects[key] = dataset
@@ -345,7 +347,7 @@ class Gateway:
         with self._dataset_lock:
             dataset = self._dataset_objects[key]
             path = self.snapshot_dir / f"{key}.e{dataset.graph.epoch}.json"
-            save_dataset(dataset, path)
+            save_dataset(dataset, path, include_csr=True)
             self._datasets[key] = (
                 str(path), graph_fingerprint(dataset.graph)
             )

@@ -6,6 +6,11 @@ from repro.graph.changelog import (
     GraphDelta,
     compact_deltas,
 )
+from repro.graph.columnar import (
+    ColumnarArtifactError,
+    ColumnarGraph,
+    compile_graph,
+)
 from repro.graph.errors import (
     DanglingEdgeError,
     DuplicateElementError,
@@ -34,11 +39,14 @@ from repro.graph.statistics import (
     GraphStatistics,
     PropertySketch,
     build_catalog,
+    catalog_from_columnar,
     compute_statistics,
 )
 from repro.graph.store import PropertyGraph
 
 __all__ = [
+    "ColumnarArtifactError",
+    "ColumnarGraph",
     "DanglingEdgeError",
     "DeltaKind",
     "DuplicateElementError",
@@ -60,7 +68,9 @@ __all__ = [
     "PropertySketch",
     "build_catalog",
     "build_graph",
+    "catalog_from_columnar",
     "compact_deltas",
+    "compile_graph",
     "compute_statistics",
     "graph_from_dict",
     "graph_to_dict",

@@ -18,8 +18,12 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.graph.store import PropertyGraph, property_index_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.columnar import ColumnarGraph
 
 #: most-common-value sketch width per (label, property) pair
 MCV_WIDTH = 8
@@ -249,6 +253,48 @@ def build_catalog(graph: PropertyGraph) -> GraphCatalog:
     return GraphCatalog(
         node_count=graph.node_count(),
         edge_count=graph.edge_count(),
+        label_counts=label_counts,
+        property_sketches=sketches,
+        edge_stats=edge_stats,
+    )
+
+
+def catalog_from_columnar(snapshot: "ColumnarGraph") -> GraphCatalog:
+    """Derive the planner catalog from a columnar snapshot.
+
+    The snapshot already maintains per-(label, key) value counters and
+    per-edge-type endpoint counters, so this costs O(distinct values)
+    instead of :func:`build_catalog`'s O(nodes + edges) rescan.  The
+    counters are accumulated in node-insertion order, so MCV sketches
+    tie-break identically to the full rebuild on freshly compiled
+    snapshots.
+    """
+    label_counts = {
+        snapshot.labels[code]: size
+        for code, size in snapshot.label_sizes.items()
+        if size > 0
+    }
+    sketches = {
+        (snapshot.labels[lc], snapshot.pkeys[kc]): PropertySketch(
+            present=sum(counts.values()),
+            distinct=len(counts),
+            top=tuple(counts.most_common(MCV_WIDTH)),
+        )
+        for (lc, kc), counts in snapshot.pair_counts.items()
+        if counts
+    }
+    edge_stats = {
+        snapshot.etypes[tc]: EdgeLabelStats(
+            count=count,
+            distinct_src=len(snapshot.etype_src.get(tc, ())),
+            distinct_dst=len(snapshot.etype_dst.get(tc, ())),
+        )
+        for tc, count in snapshot.etype_counts.items()
+        if count > 0
+    }
+    return GraphCatalog(
+        node_count=snapshot.node_count(),
+        edge_count=snapshot.edge_count(),
         label_counts=label_counts,
         property_sketches=sketches,
         edge_stats=edge_stats,

@@ -19,7 +19,7 @@ from contextlib import contextmanager
 from dataclasses import replace as _replace_delta
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
-from repro.graph.changelog import DeltaKind, GraphDelta
+from repro.graph.changelog import DeltaKind, GraphChangeLog, GraphDelta
 from repro.graph.errors import (
     DanglingEdgeError,
     DuplicateElementError,
@@ -28,11 +28,24 @@ from repro.graph.errors import (
 from repro.graph.model import Edge, Node, Properties
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.columnar import ColumnarGraph
     from repro.graph.statistics import GraphCatalog
 
 #: process-unique tokens so two graphs never share a plan-cache key, even
 #: if one is garbage-collected and the other reuses its memory address
 _GRAPH_TOKENS = itertools.count(1)
+
+#: small-delta floor below which incremental CSR maintenance is always
+#: worth trying, regardless of graph size
+_INCREMENTAL_MIN = 64
+
+
+def _metric_inc(name: str, value: int = 1) -> None:
+    # the graph layer stays import-clean of obs; the registry is a
+    # process-global sink, so binding it per call is enough
+    from repro import obs
+
+    obs.inc(name, value)
 
 
 def property_index_key(value: object) -> object | None:
@@ -59,8 +72,11 @@ class PropertyGraph:
     """A directed property multigraph with label, adjacency and property
     indexes."""
 
-    def __init__(self, name: str = "graph") -> None:
+    def __init__(self, name: str = "graph", *, columnar: bool = True) -> None:
         self.name = name
+        #: escape hatch: ``columnar=False`` keeps every read on the
+        #: legacy dict-of-dicts paths (matcher, catalog) for this graph
+        self.columnar_enabled = columnar
         self._nodes: dict[str, Node] = {}
         self._edges: dict[str, Edge] = {}
         # label -> ordered set of node ids (dict used as ordered set)
@@ -80,6 +96,8 @@ class PropertyGraph:
         self._batch_depth = 0
         self._batch_dirty = False
         self._pending_deltas: list[GraphDelta] = []
+        self._columnar_cache: "ColumnarGraph" | None = None
+        self._columnar_log: GraphChangeLog | None = None
 
     # ------------------------------------------------------------------
     # versioning
@@ -158,11 +176,97 @@ class PropertyGraph:
                     for observer in list(self._observers):
                         observer(stamped)
 
+    def columnar(self) -> "ColumnarGraph":
+        """The CSR snapshot of the current contents, cached per epoch.
+
+        Small mutation batches since the cached snapshot are applied
+        incrementally from the private change log; large batches, ring
+        buffer loss, or any inconsistency fall back to a full recompile
+        (see :mod:`repro.graph.columnar`).  Mid-batch, or when the graph
+        was built with ``columnar=False``, an uncached throwaway
+        snapshot is compiled instead.
+        """
+        from repro.graph.columnar import compile_graph
+
+        if not self.columnar_enabled or (
+            self._batch_depth and self._batch_dirty
+        ):
+            return compile_graph(self)
+        cached = self._columnar_cache
+        if cached is not None and cached.epoch == self._epoch:
+            return cached
+        if self._columnar_log is None:
+            self._columnar_log = GraphChangeLog().attach(self)
+        log = self._columnar_log
+        snapshot = None
+        if cached is not None and log.complete_since(cached.epoch):
+            deltas = log.since(cached.epoch)
+            budget = max(
+                _INCREMENTAL_MIN,
+                (len(self._nodes) + len(self._edges)) // 4,
+            )
+            if len(deltas) + cached.overlay_ops <= budget:
+                try:
+                    snapshot = cached.apply_deltas(self, deltas)
+                except Exception:
+                    snapshot = None  # recompile below
+                else:
+                    _metric_inc("graph.csr.incremental_updates")
+        if snapshot is None:
+            snapshot = compile_graph(self)
+            _metric_inc("graph.csr.compiles")
+        self._columnar_cache = snapshot
+        log.clear(through_epoch=self._epoch)
+        return snapshot
+
+    def adopt_columnar(self, snapshot: "ColumnarGraph") -> None:
+        """Install a pre-compiled snapshot (a deserialized artifact) as
+        the columnar cache for the current epoch, so the first query
+        skips compilation entirely."""
+        snapshot.graph_token, snapshot.epoch = self.fingerprint()
+        self._columnar_cache = snapshot
+        if self.columnar_enabled and self._columnar_log is None:
+            self._columnar_log = GraphChangeLog().attach(self)
+
+    def invalidate_columnar(self) -> None:
+        """Drop the cached CSR snapshot, change log and catalog.
+
+        The next ``columnar()``/``catalog()`` call rebuilds from
+        scratch.  Used to release snapshot memory, and by the perf gate
+        to profile from a cold cache regardless of what the process ran
+        earlier (the dataset registry shares graph instances).
+        """
+        if self._columnar_log is not None:
+            self._columnar_log.detach(self)
+            self._columnar_log = None
+        self._columnar_cache = None
+        self._catalog_cache = None
+
     def catalog(self) -> "GraphCatalog":
-        """The planner-grade statistics catalog, cached per epoch."""
+        """The planner-grade statistics catalog, cached per epoch.
+
+        With the columnar core enabled the catalog is derived from the
+        CSR snapshot's interned counters in O(distinct values) — and
+        when that snapshot was itself maintained incrementally from the
+        change log, so was the catalog, replacing the O(graph) rescan
+        watch mode used to trigger on every debounce tick.
+        """
         cached = self._catalog_cache
         if cached is not None and cached[0] == self._epoch:
             return cached[1]
+        if self.columnar_enabled and not self._batch_depth:
+            from repro.graph.statistics import catalog_from_columnar
+
+            try:
+                snapshot = self.columnar()
+            except Exception:
+                snapshot = None  # legacy rescan below
+            if snapshot is not None:
+                catalog = catalog_from_columnar(snapshot)
+                if snapshot.origin == "incremental":
+                    _metric_inc("graph.catalog.incremental_updates")
+                self._catalog_cache = (self._epoch, catalog)
+                return catalog
         from repro.graph.statistics import build_catalog
 
         catalog = build_catalog(self)
@@ -472,6 +576,14 @@ class PropertyGraph:
         if label is None:
             return len(self._edges)
         return len(self._edges_by_label.get(label, ()))
+
+    def order(self) -> int:
+        """Graph-theoretic order — the number of nodes, O(1)."""
+        return len(self._nodes)
+
+    def size(self) -> int:
+        """Graph-theoretic size — the number of edges, O(1)."""
+        return len(self._edges)
 
     def __len__(self) -> int:
         return len(self._nodes)
